@@ -1,0 +1,114 @@
+// Figure 4: the multi-process experiment.  Two single-threaded copies of a
+// SPLASH2 benchmark run in separate address spaces on distant nodes; the
+// probe filter sweeps 512kB -> 32kB.  Panels:
+//   4a/4d speedup      (baseline / ALLARM)
+//   4b/4e evictions    (baseline / ALLARM)
+//   4c/4f NoC traffic  (baseline / ALLARM)
+// Everything is normalized to the baseline with a 512kB probe filter.
+//
+// Paper shape: the baseline collapses as the filter shrinks (evictions grow
+// up to ~200x); under ALLARM execution is largely unaffected, with evictions
+// growing only below 64kB (memory-capacity spill forces some pages remote).
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_util.hh"
+
+namespace {
+
+using namespace allarm;
+
+const std::vector<std::uint32_t> kSizesKb{512, 256, 128, 64, 32};
+
+bench::PairCache& cache() {
+  static bench::PairCache c;
+  return c;
+}
+
+std::uint64_t accesses() { return core::bench_accesses(60000); }
+
+std::string key(const std::string& name, std::uint32_t kb, bool allarm) {
+  return name + "/" + std::to_string(kb) + (allarm ? "/allarm" : "/base");
+}
+
+core::RunResult& run_one(const std::string& name, std::uint32_t kb,
+                         DirectoryMode mode) {
+  SystemConfig config;
+  config.probe_filter_coverage_bytes = kb * 1024;
+  const auto spec = workload::make_multiprocess(name, config, accesses());
+  return cache().run_single(key(name, kb, mode == DirectoryMode::kAllarm),
+                            config, mode, spec);
+}
+
+void BM_Fig4(benchmark::State& state, const std::string& name,
+             std::uint32_t kb, DirectoryMode mode) {
+  for (auto _ : state) {
+    auto& r = run_one(name, kb, mode);
+    state.counters["evictions"] = r.stats.get("dir.pf_evictions");
+    state.counters["runtime_ns"] = r.stats.get("runtime_ns");
+  }
+}
+
+void print_panel(const std::string& title, bool allarm,
+                 const std::function<double(const core::RunResult&,
+                                            const core::RunResult&)>& metric) {
+  TextTable t({"benchmark", "512kB", "256kB", "128kB", "64kB", "32kB"});
+  for (const auto& name : workload::multiprocess_benchmark_names()) {
+    auto& base512 = cache().single_at(key(name, 512, false));
+    std::vector<std::string> row{name};
+    for (const std::uint32_t kb : kSizesKb) {
+      auto& r = cache().single_at(key(name, kb, allarm));
+      row.push_back(TextTable::fmt(metric(r, base512), 3));
+    }
+    t.add_row(row);
+  }
+  std::cout << "\n=== " << title << " ===\n" << t.to_string();
+}
+
+void print_figure() {
+  const auto speedup = [](const core::RunResult& r,
+                          const core::RunResult& base) {
+    return static_cast<double>(base.runtime) / r.runtime;
+  };
+  const auto evictions = [](const core::RunResult& r,
+                            const core::RunResult& base) {
+    const double denom = std::max(1.0, base.stats.get("dir.pf_evictions"));
+    return r.stats.get("dir.pf_evictions") / denom;
+  };
+  const auto traffic = [](const core::RunResult& r,
+                          const core::RunResult& base) {
+    return r.stats.get("noc.bytes") / base.stats.get("noc.bytes");
+  };
+  print_panel("Figure 4a: baseline speedup vs PF size", false, speedup);
+  print_panel("Figure 4b: baseline normalized evictions", false, evictions);
+  print_panel("Figure 4c: baseline normalized traffic", false, traffic);
+  print_panel("Figure 4d: ALLARM speedup vs PF size", true, speedup);
+  print_panel("Figure 4e: ALLARM normalized evictions", true, evictions);
+  print_panel("Figure 4f: ALLARM normalized traffic", true, traffic);
+  std::cout << "\nPaper: baseline performance suffers with decreasing PF size "
+               "(evictions explode);\nwith ALLARM, execution is largely "
+               "unaffected, evictions growing only below 64kB.\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (const auto& name : workload::multiprocess_benchmark_names()) {
+    for (const std::uint32_t kb : kSizesKb) {
+      for (const auto mode :
+           {DirectoryMode::kBaseline, DirectoryMode::kAllarm}) {
+        benchmark::RegisterBenchmark(
+            ("fig4/" + name + "/" + std::to_string(kb) + "kB/" +
+             to_string(mode))
+                .c_str(),
+            [name, kb, mode](benchmark::State& st) {
+              BM_Fig4(st, name, kb, mode);
+            })
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+      }
+    }
+  }
+  return allarm::bench::run_benchmarks(argc, argv, print_figure);
+}

@@ -1,0 +1,86 @@
+// Shared harness for the figure/table benches.
+//
+// Each bench binary reproduces one table or figure of the paper: it runs
+// the required (workload x configuration) simulations under google-benchmark
+// (one iteration per experiment; simulations are deterministic), collects
+// the per-figure metrics, and prints the same rows/series the paper reports.
+//
+// Simulation length is controlled by ALLARM_BENCH_ACCESSES (accesses per
+// thread in the region of interest).
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <functional>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "core/experiment.hh"
+#include "workload/profiles.hh"
+
+namespace allarm::bench {
+
+/// Cache of pair results keyed by an experiment label, so that summary
+/// tables can be printed after google-benchmark has run everything.
+class PairCache {
+ public:
+  core::PairResult& run(const std::string& key, const SystemConfig& config,
+                        const workload::WorkloadSpec& spec,
+                        std::uint64_t seed = 42) {
+    auto it = results_.find(key);
+    if (it == results_.end()) {
+      it = results_.emplace(key, core::run_pair(config, spec, seed)).first;
+    }
+    return it->second;
+  }
+
+  core::RunResult& run_single(const std::string& key,
+                              const SystemConfig& config, DirectoryMode mode,
+                              const workload::WorkloadSpec& spec,
+                              std::uint64_t seed = 42) {
+    auto it = singles_.find(key);
+    if (it == singles_.end()) {
+      it = singles_
+               .emplace(key, core::run_single(config, mode, spec, seed))
+               .first;
+    }
+    return it->second;
+  }
+
+  bool has(const std::string& key) const { return results_.count(key) != 0; }
+  core::PairResult& at(const std::string& key) { return results_.at(key); }
+  core::RunResult& single_at(const std::string& key) {
+    return singles_.at(key);
+  }
+
+ private:
+  std::map<std::string, core::PairResult> results_;
+  std::map<std::string, core::RunResult> singles_;
+};
+
+/// Standard boilerplate: initialize google-benchmark, run the registered
+/// experiments, then print the paper-style summary.
+inline int run_benchmarks(int argc, char** argv,
+                          const std::function<void()>& print_summary) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  print_summary();
+  return 0;
+}
+
+/// Geomean helper over a metric extracted from each benchmark's pair.
+inline double geomean_over(
+    const std::vector<std::string>& names,
+    const std::function<double(const std::string&)>& metric) {
+  std::vector<double> values;
+  for (const auto& n : names) values.push_back(metric(n));
+  return geomean(values);
+}
+
+}  // namespace allarm::bench

@@ -1,0 +1,50 @@
+// Calibration / inspection tool: runs one workload under baseline and
+// ALLARM and dumps the full statistic set side by side, with ratios.
+//
+//   ./calibrate [benchmark|<name>-2p] [accesses] [pf-kb]
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+#include <string>
+
+#include "common/config.hh"
+#include "core/experiment.hh"
+#include "workload/profiles.hh"
+
+int main(int argc, char** argv) {
+  using namespace allarm;
+
+  std::string bench = argc > 1 ? argv[1] : "ocean-cont";
+  const std::uint64_t accesses =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 30000;
+  const std::uint32_t pf_kb =
+      argc > 3 ? static_cast<std::uint32_t>(std::strtoul(argv[3], nullptr, 10))
+               : 512;
+
+  SystemConfig config;
+  config.probe_filter_coverage_bytes = pf_kb * 1024;
+
+  workload::WorkloadSpec spec;
+  if (bench.size() > 3 && bench.substr(bench.size() - 3) == "-2p") {
+    spec = workload::make_multiprocess(bench.substr(0, bench.size() - 3),
+                                       config, accesses);
+  } else {
+    spec = workload::make_benchmark(bench, config, accesses);
+  }
+
+  const core::PairResult pair = core::run_pair(config, spec, 42);
+
+  std::cout << std::left << std::setw(36) << "stat" << std::setw(16)
+            << "baseline" << std::setw(16) << "allarm" << "ratio\n";
+  for (const auto& [name, base_value] : pair.baseline.stats.values()) {
+    const double a = pair.allarm.stats.get(name);
+    std::cout << std::left << std::setw(36) << name << std::setw(16)
+              << base_value << std::setw(16) << a << std::fixed
+              << std::setprecision(3)
+              << (base_value != 0.0 ? a / base_value : 0.0)
+              << std::defaultfloat << '\n';
+  }
+  std::cout << "\nspeedup " << std::fixed << std::setprecision(4)
+            << pair.speedup() << '\n';
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Directory sizing study: how small can the sparse directory get?
+//
+// The paper's multi-process experiment (Section III-B) shows that with
+// ALLARM the probe filter can shrink 4-16x before performance reacts,
+// because thread-private data no longer occupies entries.  This example
+// sweeps the probe-filter coverage for a multi-process workload and prints
+// evictions and runtime for both policies, plus the area handed back at
+// each step (the McPAT-style model from the paper's area table).
+//
+//   ./directory_sizing [benchmark] [accesses-per-thread]
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "core/experiment.hh"
+#include "energy/model.hh"
+#include "workload/profiles.hh"
+
+int main(int argc, char** argv) {
+  using namespace allarm;
+
+  const std::string bench = argc > 1 ? argv[1] : "ocean-cont";
+  const std::uint64_t accesses =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 40000;
+
+  std::cout << "Directory sizing study: two single-threaded copies of '"
+            << bench << "'\n\n";
+
+  TextTable table({"PF size", "area (mm^2)", "base evictions",
+                   "ALLARM evictions", "base runtime (ms)",
+                   "ALLARM runtime (ms)"});
+  for (const std::uint32_t kb : {512u, 256u, 128u, 64u, 32u}) {
+    SystemConfig config;
+    config.probe_filter_coverage_bytes = kb * 1024;
+    const auto spec = workload::make_multiprocess(bench, config, accesses);
+    const core::PairResult pair = core::run_pair(config, spec, 42);
+    table.add_row(
+        {std::to_string(kb) + "kB",
+         TextTable::fmt(
+             energy::EnergyModel::probe_filter_area_mm2(kb * 1024, 16), 2),
+         TextTable::fmt(pair.baseline.stats.get("dir.pf_evictions"), 0),
+         TextTable::fmt(pair.allarm.stats.get("dir.pf_evictions"), 0),
+         TextTable::fmt(pair.baseline.stats.get("runtime_ns") / 1e6, 3),
+         TextTable::fmt(pair.allarm.stats.get("runtime_ns") / 1e6, 3)});
+  }
+  std::cout << table.to_string()
+            << "\nBaseline eviction counts explode once the directory cannot "
+               "cover the cached\nfootprint; ALLARM tracks only the (small) "
+               "shared footprint, so the same shrink\nleaves execution "
+               "nearly untouched - the SRAM saved (area column) can return "
+               "to\nthe last-level cache.\n";
+  return 0;
+}

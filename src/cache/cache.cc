@@ -1,0 +1,113 @@
+#include "cache/cache.hh"
+
+#include <stdexcept>
+
+namespace allarm::cache {
+
+std::string to_string(LineState s) {
+  switch (s) {
+    case LineState::kInvalid: return "I";
+    case LineState::kShared: return "S";
+    case LineState::kExclusive: return "E";
+    case LineState::kOwned: return "O";
+    case LineState::kModified: return "M";
+  }
+  return "?";
+}
+
+Cache::Cache(const CacheConfig& config, ReplacementKind replacement,
+             std::uint64_t seed, std::string name)
+    : sets_(config.sets()),
+      ways_(config.ways),
+      name_(std::move(name)),
+      slots_(static_cast<std::size_t>(config.sets()) * config.ways),
+      policy_(make_policy(replacement, config.sets(), config.ways, seed)),
+      eligible_scratch_(config.ways, true) {}
+
+Cache::Slot* Cache::find_slot(LineAddr line) {
+  Slot* base = &slots_[static_cast<std::size_t>(set_of(line)) * ways_];
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    if (is_valid(base[w].state) && base[w].line == line) return &base[w];
+  }
+  return nullptr;
+}
+
+const Cache::Slot* Cache::find_slot(LineAddr line) const {
+  return const_cast<Cache*>(this)->find_slot(line);
+}
+
+LineState Cache::state_of(LineAddr line) const {
+  const Slot* s = find_slot(line);
+  return s ? s->state : LineState::kInvalid;
+}
+
+bool Cache::touch(LineAddr line) {
+  Slot* s = find_slot(line);
+  if (!s) return false;
+  const auto way = static_cast<std::uint32_t>(
+      s - &slots_[static_cast<std::size_t>(set_of(line)) * ways_]);
+  policy_->touch(set_of(line), way);
+  return true;
+}
+
+bool Cache::set_state(LineAddr line, LineState state) {
+  if (state == LineState::kInvalid) {
+    throw std::invalid_argument("Cache::set_state: use erase() to invalidate");
+  }
+  Slot* s = find_slot(line);
+  if (!s) return false;
+  s->state = state;
+  return true;
+}
+
+Victim Cache::insert(LineAddr line, LineState state) {
+  if (!is_valid(state)) {
+    throw std::invalid_argument("Cache::insert: invalid state");
+  }
+  if (find_slot(line)) {
+    throw std::logic_error("Cache::insert: line already present in " + name_);
+  }
+  const std::uint32_t set = set_of(line);
+  Slot* base = &slots_[static_cast<std::size_t>(set) * ways_];
+
+  // Prefer a free way.
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    if (!is_valid(base[w].state)) {
+      base[w] = Slot{line, state};
+      policy_->touch(set, w);
+      ++occupancy_;
+      return Victim{};
+    }
+  }
+
+  // Evict a victim (all ways eligible: caches never pin lines; the probe
+  // filter, which does pin busy lines, selects victims itself).
+  std::fill(eligible_scratch_.begin(), eligible_scratch_.end(), true);
+  const std::uint32_t w = policy_->victim(set, eligible_scratch_);
+  const Victim victim{base[w].line, base[w].state};
+  base[w] = Slot{line, state};
+  policy_->touch(set, w);
+  return victim;
+}
+
+LineState Cache::erase(LineAddr line) {
+  Slot* s = find_slot(line);
+  if (!s) return LineState::kInvalid;
+  const LineState had = s->state;
+  s->state = LineState::kInvalid;
+  --occupancy_;
+  return had;
+}
+
+void Cache::for_each(const std::function<void(LineAddr, LineState)>& fn) const {
+  for (const Slot& s : slots_) {
+    if (is_valid(s.state)) fn(s.line, s.state);
+  }
+}
+
+void Cache::clear() {
+  for (Slot& s : slots_) s.state = LineState::kInvalid;
+  occupancy_ = 0;
+}
+
+}  // namespace allarm::cache

@@ -1,0 +1,113 @@
+// A set-associative cache array holding MOESI coherence state.
+//
+// The array stores state only (the simulator does not move data bytes);
+// hit/miss behaviour, replacement and eviction mechanics are exact.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/replacement.hh"
+#include "common/config.hh"
+#include "common/types.hh"
+
+namespace allarm::cache {
+
+/// MOESI line states.
+enum class LineState : std::uint8_t {
+  kInvalid,
+  kShared,     ///< Clean, possibly other sharers.
+  kExclusive,  ///< Clean, sole copy.
+  kOwned,      ///< Dirty, responsible for writeback, other sharers may exist.
+  kModified,   ///< Dirty, sole copy.
+};
+
+/// True for states that require a data writeback on eviction.
+constexpr bool is_dirty(LineState s) {
+  return s == LineState::kModified || s == LineState::kOwned;
+}
+
+/// True for any valid (non-invalid) state.
+constexpr bool is_valid(LineState s) { return s != LineState::kInvalid; }
+
+/// True for states granting store permission.
+constexpr bool is_writable(LineState s) {
+  return s == LineState::kModified || s == LineState::kExclusive;
+}
+
+std::string to_string(LineState s);
+
+/// A line leaving the cache: its address and the state it held.
+struct Victim {
+  LineAddr line = 0;
+  LineState state = LineState::kInvalid;
+
+  bool valid() const { return is_valid(state); }
+};
+
+/// One set-associative array.
+class Cache {
+ public:
+  /// `seed` feeds the random replacement policy (unused by LRU/PLRU).
+  Cache(const CacheConfig& config, ReplacementKind replacement,
+        std::uint64_t seed, std::string name);
+
+  std::uint32_t sets() const { return sets_; }
+  std::uint32_t ways() const { return ways_; }
+  std::uint32_t capacity_lines() const { return sets_ * ways_; }
+  const std::string& name() const { return name_; }
+
+  /// Returns the state of `line` (kInvalid when absent). No side effects.
+  LineState state_of(LineAddr line) const;
+
+  /// Returns true when `line` is present in any valid state.
+  bool contains(LineAddr line) const { return is_valid(state_of(line)); }
+
+  /// Marks `line` as accessed (replacement bookkeeping). Returns true on hit.
+  bool touch(LineAddr line);
+
+  /// Changes the state of a present line. Returns false when absent.
+  bool set_state(LineAddr line, LineState state);
+
+  /// Inserts `line` (which must not already be present) in `state`.
+  /// Returns the victim that was displaced; victim.valid() is false when a
+  /// free way was used.
+  Victim insert(LineAddr line, LineState state);
+
+  /// Removes `line`; returns the state it held (kInvalid when absent).
+  LineState erase(LineAddr line);
+
+  /// Number of valid lines currently held.
+  std::uint32_t occupancy() const { return occupancy_; }
+
+  /// Invokes `fn(line, state)` for every valid line (for invariant checks).
+  void for_each(const std::function<void(LineAddr, LineState)>& fn) const;
+
+  /// Removes every line (used between experiment repetitions).
+  void clear();
+
+ private:
+  struct Slot {
+    LineAddr line = 0;
+    LineState state = LineState::kInvalid;
+  };
+
+  std::uint32_t set_of(LineAddr line) const {
+    return static_cast<std::uint32_t>(line & (sets_ - 1));
+  }
+  Slot* find_slot(LineAddr line);
+  const Slot* find_slot(LineAddr line) const;
+
+  std::uint32_t sets_;
+  std::uint32_t ways_;
+  std::string name_;
+  std::vector<Slot> slots_;  // sets x ways
+  std::unique_ptr<ReplacementPolicy> policy_;
+  std::uint32_t occupancy_ = 0;
+  mutable std::vector<bool> eligible_scratch_;
+};
+
+}  // namespace allarm::cache

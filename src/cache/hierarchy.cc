@@ -1,0 +1,117 @@
+#include "cache/hierarchy.hh"
+
+#include <stdexcept>
+
+namespace allarm::cache {
+
+std::string to_string(Array array) {
+  switch (array) {
+    case Array::kNone: return "none";
+    case Array::kL1D: return "L1D";
+    case Array::kL1I: return "L1I";
+    case Array::kL2: return "L2";
+  }
+  return "?";
+}
+
+Hierarchy::Hierarchy(const SystemConfig& config, std::uint64_t seed,
+                     const std::string& name)
+    : l1d_(config.l1d, config.cache_replacement, seed * 3 + 1, name + ".l1d"),
+      l1i_(config.l1i, config.cache_replacement, seed * 3 + 2, name + ".l1i"),
+      l2_(config.l2, config.cache_replacement, seed * 3 + 3, name + ".l2") {}
+
+Cache& Hierarchy::array_of(Array a) {
+  switch (a) {
+    case Array::kL1D: return l1d_;
+    case Array::kL1I: return l1i_;
+    case Array::kL2: return l2_;
+    case Array::kNone: break;
+  }
+  throw std::invalid_argument("Hierarchy: bad array");
+}
+
+Location Hierarchy::locate(LineAddr line) const {
+  if (LineState s = l1d_.state_of(line); is_valid(s)) return {Array::kL1D, s};
+  if (LineState s = l1i_.state_of(line); is_valid(s)) return {Array::kL1I, s};
+  if (LineState s = l2_.state_of(line); is_valid(s)) return {Array::kL2, s};
+  return {};
+}
+
+void Hierarchy::touch(LineAddr line) {
+  if (!l1d_.touch(line) && !l1i_.touch(line)) l2_.touch(line);
+}
+
+void Hierarchy::insert_cascading(Array target, LineAddr line, LineState state,
+                                 std::vector<Victim>& out) {
+  const Victim l1_victim = array_of(target).insert(line, state);
+  if (!l1_victim.valid()) return;
+  const Victim l2_victim = l2_.insert(l1_victim.line, l1_victim.state);
+  if (l2_victim.valid()) out.push_back(l2_victim);
+}
+
+std::vector<Victim> Hierarchy::fill(Array target, LineAddr line,
+                                    LineState state) {
+  if (target != Array::kL1D && target != Array::kL1I) {
+    throw std::invalid_argument("Hierarchy::fill: target must be an L1");
+  }
+  if (locate(line).present()) {
+    throw std::logic_error("Hierarchy::fill: line already present");
+  }
+  std::vector<Victim> out;
+  insert_cascading(target, line, state, out);
+  return out;
+}
+
+std::vector<Victim> Hierarchy::promote(Array target, LineAddr line) {
+  if (target != Array::kL1D && target != Array::kL1I) {
+    throw std::invalid_argument("Hierarchy::promote: target must be an L1");
+  }
+  const LineState state = l2_.erase(line);
+  if (!is_valid(state)) {
+    throw std::logic_error("Hierarchy::promote: line not in L2");
+  }
+  std::vector<Victim> out;
+  insert_cascading(target, line, state, out);
+  return out;
+}
+
+LineState Hierarchy::invalidate(LineAddr line) {
+  if (LineState s = l1d_.erase(line); is_valid(s)) return s;
+  if (LineState s = l1i_.erase(line); is_valid(s)) return s;
+  return l2_.erase(line);
+}
+
+LineState Hierarchy::downgrade(LineAddr line) {
+  const Location loc = locate(line);
+  if (!loc.present()) return LineState::kInvalid;
+  LineState next = loc.state;
+  if (loc.state == LineState::kModified) next = LineState::kOwned;
+  else if (loc.state == LineState::kExclusive) next = LineState::kShared;
+  if (next != loc.state) array_of(loc.array).set_state(line, next);
+  return loc.state;
+}
+
+bool Hierarchy::set_state(LineAddr line, LineState state) {
+  const Location loc = locate(line);
+  if (!loc.present()) return false;
+  return array_of(loc.array).set_state(line, state);
+}
+
+void Hierarchy::for_each(
+    const std::function<void(LineAddr, LineState)>& fn) const {
+  l1d_.for_each(fn);
+  l1i_.for_each(fn);
+  l2_.for_each(fn);
+}
+
+std::uint32_t Hierarchy::occupancy() const {
+  return l1d_.occupancy() + l1i_.occupancy() + l2_.occupancy();
+}
+
+void Hierarchy::clear() {
+  l1d_.clear();
+  l1i_.clear();
+  l2_.clear();
+}
+
+}  // namespace allarm::cache

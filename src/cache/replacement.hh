@@ -1,0 +1,79 @@
+// Replacement policies for set-associative arrays (caches and the probe
+// filter).  A policy instance serves one array; it keeps whatever per-set
+// metadata it needs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/rng.hh"
+
+namespace allarm::cache {
+
+/// Interface for a per-array replacement policy.
+class ReplacementPolicy {
+ public:
+  virtual ~ReplacementPolicy() = default;
+
+  /// Notifies the policy that (set, way) was accessed (hit or fill).
+  virtual void touch(std::uint32_t set, std::uint32_t way) = 0;
+
+  /// Chooses a victim way in `set`, considering only ways for which
+  /// `eligible[way]` is true.  At least one way must be eligible.
+  /// Returns the chosen way.
+  virtual std::uint32_t victim(std::uint32_t set,
+                               const std::vector<bool>& eligible) = 0;
+};
+
+/// True LRU via per-way access stamps.
+class LruPolicy final : public ReplacementPolicy {
+ public:
+  LruPolicy(std::uint32_t sets, std::uint32_t ways);
+  void touch(std::uint32_t set, std::uint32_t way) override;
+  std::uint32_t victim(std::uint32_t set,
+                       const std::vector<bool>& eligible) override;
+
+ private:
+  std::uint32_t ways_;
+  std::uint64_t clock_ = 0;
+  std::vector<std::uint64_t> stamp_;  // sets x ways
+};
+
+/// Tree pseudo-LRU.  Ways must be a power of two; falls back to the
+/// tree-implied victim, skipping ineligible ways in stamp order when the
+/// implied victim is ineligible.
+class TreePlruPolicy final : public ReplacementPolicy {
+ public:
+  TreePlruPolicy(std::uint32_t sets, std::uint32_t ways);
+  void touch(std::uint32_t set, std::uint32_t way) override;
+  std::uint32_t victim(std::uint32_t set,
+                       const std::vector<bool>& eligible) override;
+
+ private:
+  std::uint32_t ways_;
+  std::uint32_t tree_bits_;           // ways - 1 internal nodes
+  std::vector<std::uint8_t> bits_;    // sets x tree_bits
+};
+
+/// Pseudo-random victim from a seeded generator (deterministic per run).
+class RandomPolicy final : public ReplacementPolicy {
+ public:
+  RandomPolicy(std::uint32_t sets, std::uint32_t ways, std::uint64_t seed);
+  void touch(std::uint32_t set, std::uint32_t way) override;
+  std::uint32_t victim(std::uint32_t set,
+                       const std::vector<bool>& eligible) override;
+
+ private:
+  std::uint32_t ways_;
+  Rng rng_;
+};
+
+/// Factory keyed by the configuration enum.
+std::unique_ptr<ReplacementPolicy> make_policy(ReplacementKind kind,
+                                               std::uint32_t sets,
+                                               std::uint32_t ways,
+                                               std::uint64_t seed);
+
+}  // namespace allarm::cache

@@ -1,0 +1,537 @@
+#include "coherence/directory.hh"
+
+#include <algorithm>
+
+#include "coherence/cache_controller.hh"
+#include "common/log.hh"
+
+namespace allarm::coherence {
+
+using cache::LineState;
+
+DirectoryController::DirectoryController(NodeId node, Fabric& fabric,
+                                         DirectoryMode mode,
+                                         std::uint64_t seed)
+    : node_(node),
+      fabric_(fabric),
+      mode_(mode),
+      pf_(fabric.config->probe_filter_coverage_bytes,
+          fabric.config->probe_filter_ways,
+          fabric.config->probe_filter_replacement, seed) {}
+
+bool DirectoryController::allarm_active_for(LineAddr line) const {
+  return mode_ == DirectoryMode::kAllarm && fabric_.allarm_active(line);
+}
+
+// ------------------------------------------------------------- plumbing ----
+
+Tick DirectoryController::send(NodeId src, NodeId dst, MsgKind kind,
+                               noc::TrafficCause cause, Tick when) {
+  return fabric_.mesh->send(src, dst, size_of(kind, *fabric_.config), when,
+                            cause);
+}
+
+void DirectoryController::grant_at(const Request& r, LineState state,
+                                   bool with_data, Tick when) {
+  fabric_.at(when, [this, r, state, with_data] {
+    fabric_.caches[r.from]->grant(r.line, state, with_data,
+                                  fabric_.events->now());
+  });
+}
+
+void DirectoryController::finish_at(LineAddr line, Tick when) {
+  fabric_.at(when, [this, line] { release_and_drain(line); });
+}
+
+void DirectoryController::release_and_drain(LineAddr line) {
+  busy_.erase(line);
+  const auto it = waiting_.find(line);
+  if (it == waiting_.end()) return;
+  std::deque<QueuedOp>& queue = it->second;
+  while (!queue.empty()) {
+    QueuedOp op = std::move(queue.front());
+    queue.pop_front();
+    if (std::holds_alternative<Request>(op)) {
+      const Request r = std::get<Request>(op);
+      if (queue.empty()) waiting_.erase(it);
+      busy_.insert(line);
+      start_request(r, fabric_.events->now());
+      return;
+    }
+    process_put(std::get<Put>(op), fabric_.events->now());
+  }
+  waiting_.erase(it);
+}
+
+// ----------------------------------------------------------- entry points ----
+
+void DirectoryController::handle_request(const Request& r) {
+  ++stats_.requests;
+  if (r.from == node_) ++stats_.local_requests; else ++stats_.remote_requests;
+  if (busy_.count(r.line)) {
+    waiting_[r.line].push_back(r);
+    ++stats_.queued_ops;
+    return;
+  }
+  busy_.insert(r.line);
+  start_request(r, fabric_.events->now());
+}
+
+void DirectoryController::handle_put(const Put& p) {
+  if (busy_.count(p.line)) {
+    waiting_[p.line].push_back(p);
+    ++stats_.queued_ops;
+    return;
+  }
+  process_put(p, fabric_.events->now());
+}
+
+void DirectoryController::start_request(const Request& r, Tick now) {
+  const Tick t = now + fabric_.config->probe_filter_latency;
+  PfEntry* entry = pf_.lookup(r.line);
+  log_trace("dir", node_, " ", r.write ? "GetM" : "GetS", " line=", r.line,
+            " from=", r.from, entry ? " pf-hit" : " pf-miss");
+  if (entry) {
+    pf_.touch(r.line);
+    if (r.write) hit_getm(r, *entry, t); else hit_gets(r, *entry, t);
+  } else {
+    miss(r, t);
+  }
+}
+
+// --------------------------------------------------------------- PF hits ----
+
+void DirectoryController::hit_gets(const Request& r, PfEntry& entry, Tick t) {
+  switch (entry.state) {
+    case PfState::kEM:
+    case PfState::kOwned: {
+      const NodeId owner = entry.owner;
+      if (owner == r.from) {
+        // The tracked owner claims a miss: it must have lost the line without
+        // the directory noticing.  Defensive: refresh from DRAM, keep entry.
+        ++stats_.anomalies;
+        const Tick t_mem = fabric_.drams[node_]->read(t);
+        const Tick t_data =
+            send(node_, r.from, MsgKind::kData, noc::TrafficCause::kResponse,
+                 t_mem);
+        grant_at(r, entry.state == PfState::kEM ? LineState::kExclusive
+                                                : LineState::kOwned,
+                 /*with_data=*/true, t_data);
+        finish_at(r.line, t_data);
+        return;
+      }
+      // Directed downgrade probe to the owner; the owner supplies the line
+      // cache-to-cache and acknowledges the directory.
+      const Tick t_probe_arr =
+          send(node_, owner, MsgKind::kProbeDown, noc::TrafficCause::kProbe, t);
+      fabric_.at(t_probe_arr, [this, r, owner] {
+        const ProbeResult res = fabric_.caches[owner]->probe(
+            r.line, ProbeOp::kDowngrade, fabric_.events->now());
+        if (!res.hit()) {
+          // Owner no longer has it (should not happen under serialization).
+          ++stats_.anomalies;
+          const Tick t_mem = fabric_.drams[node_]->read(res.done);
+          const Tick t_data = send(node_, r.from, MsgKind::kData,
+                                   noc::TrafficCause::kResponse, t_mem);
+          pf_.update(r.line, PfState::kShared, kInvalidNode);
+          grant_at(r, LineState::kShared, true, t_data);
+          finish_at(r.line, t_data);
+          return;
+        }
+        const Tick t_data = send(owner, r.from, MsgKind::kAckData,
+                                 noc::TrafficCause::kProbeAck, res.done);
+        const Tick t_ack = send(owner, node_, MsgKind::kAck,
+                                noc::TrafficCause::kProbeAck, res.done);
+        // M -> owner keeps a dirty Owned copy; E -> both end up Shared.
+        if (res.had == LineState::kModified || res.had == LineState::kOwned) {
+          pf_.update(r.line, PfState::kOwned, owner);
+        } else {
+          pf_.update(r.line, PfState::kShared, kInvalidNode);
+        }
+        grant_at(r, LineState::kShared, true, t_data);
+        finish_at(r.line, std::max(t_ack, t_data));
+      });
+      return;
+    }
+    case PfState::kShared: {
+      // Clean copies exist somewhere; memory is up to date.
+      const Tick t_mem = fabric_.drams[node_]->read(t);
+      const Tick t_data = send(node_, r.from, MsgKind::kData,
+                               noc::TrafficCause::kResponse, t_mem);
+      grant_at(r, LineState::kShared, true, t_data);
+      finish_at(r.line, t_data);
+      return;
+    }
+    case PfState::kInvalid: break;
+  }
+  throw std::logic_error("hit_gets: invalid probe-filter entry state");
+}
+
+void DirectoryController::hit_getm(const Request& r, PfEntry& entry, Tick t) {
+  switch (entry.state) {
+    case PfState::kEM: {
+      const NodeId owner = entry.owner;
+      if (owner == r.from) {
+        // Owner asks for M while tracked as EM: silent-upgrade information
+        // was lost somewhere.  Defensive: refresh from DRAM.
+        ++stats_.anomalies;
+        const Tick t_mem = fabric_.drams[node_]->read(t);
+        const Tick t_data = send(node_, r.from, MsgKind::kData,
+                                 noc::TrafficCause::kResponse, t_mem);
+        grant_at(r, LineState::kModified, true, t_data);
+        finish_at(r.line, t_data);
+        return;
+      }
+      const Tick t_probe_arr =
+          send(node_, owner, MsgKind::kProbeInv, noc::TrafficCause::kProbe, t);
+      fabric_.at(t_probe_arr, [this, r, owner] {
+        const ProbeResult res = fabric_.caches[owner]->probe(
+            r.line, ProbeOp::kInvalidate, fabric_.events->now());
+        Tick t_data;
+        if (res.hit()) {
+          t_data = send(owner, r.from, MsgKind::kAckData,
+                        noc::TrafficCause::kProbeAck, res.done);
+        } else {
+          ++stats_.anomalies;
+          const Tick t_mem = fabric_.drams[node_]->read(res.done);
+          t_data = send(node_, r.from, MsgKind::kData,
+                        noc::TrafficCause::kResponse, t_mem);
+        }
+        const Tick t_ack = send(owner, node_, MsgKind::kAck,
+                                noc::TrafficCause::kProbeAck, res.done);
+        pf_.update(r.line, PfState::kEM, r.from);
+        grant_at(r, LineState::kModified, true, t_data);
+        finish_at(r.line, std::max(t_ack, t_data));
+      });
+      return;
+    }
+    case PfState::kOwned:
+    case PfState::kShared:
+      hit_getm_broadcast(r, entry, t);
+      return;
+    case PfState::kInvalid: break;
+  }
+  throw std::logic_error("hit_getm: invalid probe-filter entry state");
+}
+
+void DirectoryController::hit_getm_broadcast(const Request& r, PfEntry& entry,
+                                             Tick t) {
+  // Hammer does not track sharer sets: invalidate everywhere (except the
+  // requester).  Acks collect at the home; a dirty owner forwards the line
+  // to the requester cache-to-cache.
+  struct Bcast {
+    std::uint32_t expected = 0;
+    std::uint32_t acks = 0;
+    Tick t_acks_done = 0;
+    Tick t_data = 0;
+    bool data_from_owner = false;
+    Tick t_mem = 0;      ///< Speculative DRAM read (when the requester lacks data).
+    bool used_dram = false;
+  };
+  auto st = std::make_shared<Bcast>();
+  const bool was_owned = entry.state == PfState::kOwned;
+
+  // Speculative memory read when no dirty owner is guaranteed to supply it.
+  if (!r.has_line && !was_owned) {
+    st->t_mem = fabric_.drams[node_]->read(t);
+    st->used_dram = true;
+  }
+
+  const std::uint32_t n_nodes = fabric_.config->num_nodes();
+  auto on_all_acks = [this, r, st] {
+    pf_.update(r.line, PfState::kEM, r.from);
+    Tick t_end;
+    if (st->data_from_owner) {
+      // Line already flying to the requester; completion still waits for all
+      // acks, signalled with a control message.
+      const Tick t_cmpl = send(node_, r.from, MsgKind::kComplete,
+                               noc::TrafficCause::kResponse, st->t_acks_done);
+      t_end = std::max(st->t_data, t_cmpl);
+      grant_at(r, LineState::kModified, true, t_end);
+    } else if (r.has_line) {
+      const Tick t_cmpl = send(node_, r.from, MsgKind::kComplete,
+                               noc::TrafficCause::kResponse, st->t_acks_done);
+      t_end = t_cmpl;
+      grant_at(r, LineState::kModified, false, t_end);
+    } else {
+      Tick t_mem = st->t_mem;
+      if (!st->used_dram) {
+        // Tracked owner vanished without supplying data: defensive re-read.
+        ++stats_.anomalies;
+        t_mem = fabric_.drams[node_]->read(st->t_acks_done);
+      }
+      const Tick t_data =
+          send(node_, r.from, MsgKind::kData, noc::TrafficCause::kResponse,
+               std::max(t_mem, st->t_acks_done));
+      t_end = t_data;
+      grant_at(r, LineState::kModified, true, t_end);
+    }
+    finish_at(r.line, t_end);
+  };
+
+  for (NodeId n = 0; n < n_nodes; ++n) {
+    if (n == r.from) continue;
+    ++st->expected;
+    const Tick t_arr =
+        send(node_, n, MsgKind::kProbeInv, noc::TrafficCause::kProbe, t);
+    fabric_.at(t_arr, [this, r, n, st, on_all_acks] {
+      const ProbeResult res = fabric_.caches[n]->probe(
+          r.line, ProbeOp::kInvalidate, fabric_.events->now());
+      if (res.dirty()) {
+        st->t_data = send(n, r.from, MsgKind::kAckData,
+                          noc::TrafficCause::kProbeAck, res.done);
+        st->data_from_owner = true;
+      }
+      const Tick t_ack =
+          send(n, node_, MsgKind::kAck, noc::TrafficCause::kProbeAck, res.done);
+      fabric_.at(t_ack, [this, st, on_all_acks] {
+        st->t_acks_done = std::max(st->t_acks_done, fabric_.events->now());
+        if (++st->acks == st->expected) on_all_acks();
+      });
+    });
+  }
+}
+
+// --------------------------------------------------------------- PF miss ----
+
+void DirectoryController::miss(const Request& r, Tick t) {
+  const bool allarm = allarm_active_for(r.line);
+
+  if (allarm && r.from == node_) {
+    // The ALLARM fast path: a local miss allocates nothing and probes nobody.
+    ++stats_.local_no_alloc;
+    const Tick t_mem = fabric_.drams[node_]->read(t);
+    const Tick t_data = send(node_, r.from, MsgKind::kData,
+                             noc::TrafficCause::kResponse, t_mem);
+    grant_at(r, r.write ? LineState::kModified : LineState::kExclusive, true,
+             t_data);
+    finish_at(r.line, t_data);
+    return;
+  }
+
+  // Allocation path: reserve the way up front (the line is busy, so the
+  // placeholder entry is invisible until the transaction completes).
+  struct Miss {
+    Request r;
+    Tick t_victim_done = 0;
+    bool waiting_victim = false;
+    bool waiting_main = true;
+    Tick t_serve = 0;            ///< When data can leave its source.
+    NodeId data_src = 0;
+    MsgKind data_kind = MsgKind::kData;
+    noc::TrafficCause data_cause = noc::TrafficCause::kResponse;
+    LineState grant_state = LineState::kExclusive;
+    PfState final_state = PfState::kEM;
+    NodeId final_owner = kInvalidNode;
+  };
+  auto st = std::make_shared<Miss>();
+  st->r = r;
+  st->t_victim_done = t;
+  st->data_src = node_;
+  st->final_owner = r.from;
+
+  auto try_complete = [this, st] {
+    if (st->waiting_victim || st->waiting_main) return;
+    const LineAddr line = st->r.line;
+    if (const PfEntry* e = pf_.peek(line);
+        e && (e->state != st->final_state || e->owner != st->final_owner)) {
+      pf_.update(line, st->final_state, st->final_owner);
+    }
+    const Tick t_ready = std::max(st->t_serve, st->t_victim_done);
+    const Tick t_data =
+        send(st->data_src, st->r.from, st->data_kind, st->data_cause, t_ready);
+    grant_at(st->r, st->grant_state, true, t_data);
+    finish_at(line, t_data);
+  };
+
+  if (!pf_.has_free_way(r.line)) {
+    auto victim = pf_.displace_victim(
+        r.line, [this](LineAddr l) { return busy_.count(l) != 0; });
+    if (!victim) {
+      // Every way pinned by in-flight transactions: retry shortly.
+      ++stats_.victim_stalls;
+      fabric_.at(t + fabric_.config->probe_filter_latency * 8, [this, r] {
+        miss(r, fabric_.events->now());
+      });
+      return;
+    }
+    if (fabric_.config->eviction_gates_reply) {
+      st->waiting_victim = true;
+      run_eviction(*victim, t, [st, try_complete](Tick t_done) {
+        st->t_victim_done = t_done;
+        st->waiting_victim = false;
+        try_complete();
+      });
+    } else {
+      // Eviction-buffer model: the victim invalidation drains in the
+      // background; the reply does not wait for it.
+      run_eviction(*victim, t, [](Tick) {});
+    }
+  }
+  pf_.insert(r.line, PfState::kEM, r.from);  // Placeholder, fixed on completion.
+
+  if (!allarm) {
+    // Baseline: a PF miss implies the line is uncached anywhere.
+    st->grant_state = r.write ? LineState::kModified : LineState::kExclusive;
+    st->t_serve = fabric_.drams[node_]->read(t);
+    st->waiting_main = false;
+    try_complete();
+    return;
+  }
+
+  // ALLARM, remote requester: the home core may hold the line untracked.
+  // Probe it; the speculative DRAM read proceeds in parallel (Section II-D).
+  log_trace("dir", node_, " ALLARM local probe line=", r.line, " for node ",
+            r.from);
+  ++stats_.remote_miss_probes;
+  const bool parallel = fabric_.config->allarm_parallel_local_probe;
+  const Tick t_mem_spec =
+      parallel ? fabric_.drams[node_]->read(t) : 0;
+  const Tick t_probe_arr = send(node_, node_, MsgKind::kLocalProbe,
+                                noc::TrafficCause::kProbe, t);
+  fabric_.at(t_probe_arr, [this, st, t_mem_spec, parallel, try_complete] {
+    const Request& r = st->r;
+    const ProbeResult res = fabric_.caches[node_]->probe(
+        r.line, r.write ? ProbeOp::kInvalidate : ProbeOp::kDowngrade,
+        fabric_.events->now());
+    const Tick t_probe_done = send(node_, node_, MsgKind::kAck,
+                                   noc::TrafficCause::kProbeAck, res.done);
+    if (!res.hit()) {
+      const Tick t_mem =
+          parallel ? t_mem_spec : fabric_.drams[node_]->read(t_probe_done);
+      if (parallel && t_probe_done <= t_mem) ++stats_.remote_miss_probe_hidden;
+      st->grant_state = r.write ? LineState::kModified : LineState::kExclusive;
+      st->t_serve = std::max(t_mem, t_probe_done);
+    } else {
+      // The home core held the line untracked: it supplies the data
+      // cache-to-cache; the speculative DRAM read is discarded.
+      ++stats_.remote_miss_probe_hit;
+      st->data_kind = MsgKind::kAckData;
+      st->data_cause = noc::TrafficCause::kProbeAck;
+      st->t_serve = res.done;
+      if (!r.write) {
+        st->grant_state = LineState::kShared;
+        if (res.dirty()) {
+          st->final_state = PfState::kOwned;
+          st->final_owner = node_;
+        } else {
+          st->final_state = PfState::kShared;
+          st->final_owner = kInvalidNode;
+        }
+      } else {
+        st->grant_state = LineState::kModified;  // Entry stays EM(requester).
+      }
+    }
+    st->waiting_main = false;
+    try_complete();
+  });
+}
+
+// -------------------------------------------------------------- evictions ----
+
+void DirectoryController::run_eviction(const PfEntry& victim, Tick t,
+                                       std::function<void(Tick)> done) {
+  log_trace("dir", node_, " evicts entry line=", victim.line, " state=",
+            to_string(victim.state));
+  ++stats_.pf_evictions;
+  busy_.insert(victim.line);
+
+  struct Evict {
+    std::uint32_t expected = 0;
+    std::uint32_t acks = 0;
+    Tick t_latest = 0;
+    std::function<void(Tick)> done;
+  };
+  auto st = std::make_shared<Evict>();
+  st->done = std::move(done);
+
+  // EM entries have a known unique holder; Owned/Shared sharers are unknown
+  // under Hammer, so the invalidation broadcasts to every node.
+  std::vector<NodeId> targets;
+  if (victim.state == PfState::kEM) {
+    targets.push_back(victim.owner);
+  } else {
+    for (NodeId n = 0; n < fabric_.config->num_nodes(); ++n) {
+      targets.push_back(n);
+    }
+  }
+
+  const LineAddr line = victim.line;
+  for (const NodeId n : targets) {
+    ++st->expected;
+    const Tick t_arr =
+        send(node_, n, MsgKind::kProbeInv, noc::TrafficCause::kEviction, t);
+    ++stats_.eviction_messages;
+    fabric_.at(t_arr, [this, line, n, st] {
+      const ProbeResult res = fabric_.caches[n]->probe(
+          line, ProbeOp::kInvalidate, fabric_.events->now());
+      if (res.hit()) ++stats_.eviction_lines_invalidated;
+      const MsgKind ack_kind = res.dirty() ? MsgKind::kAckData : MsgKind::kAck;
+      const bool dirty = res.dirty();
+      const Tick t_ack = send(n, node_, ack_kind,
+                              noc::TrafficCause::kEvictionAck, res.done);
+      ++stats_.eviction_messages;
+      fabric_.at(t_ack, [this, line, dirty, st] {
+        const Tick now = fabric_.events->now();
+        if (dirty) {
+          fabric_.drams[node_]->write(now);
+          ++stats_.eviction_dirty_writebacks;
+        }
+        st->t_latest = std::max(st->t_latest, now);
+        if (++st->acks == st->expected) {
+          release_and_drain(line);
+          st->done(st->t_latest);
+        }
+      });
+    });
+  }
+}
+
+// ------------------------------------------------------------- writebacks ----
+
+void DirectoryController::process_put(const Put& p, Tick now) {
+  const Tick t = now + fabric_.config->probe_filter_latency;
+  PfEntry* entry = pf_.lookup(p.line);
+  if (entry && entry->owner == p.from && entry->state == PfState::kEM) {
+    // Sole owner gave the line up: memory gets the data, the entry is freed
+    // (the paper's optimized baseline behaviour).
+    if (p.dirty) fabric_.drams[node_]->write(t);
+    pf_.erase(p.line);
+    ++stats_.puts_owner;
+  } else if (entry && entry->owner == p.from &&
+             entry->state == PfState::kOwned) {
+    // Dirty-shared owner wrote back; unknown sharers may remain.
+    if (p.dirty) fabric_.drams[node_]->write(t);
+    pf_.update(p.line, PfState::kShared, kInvalidNode);
+    ++stats_.puts_owner;
+  } else if (entry) {
+    // Raced with an ownership change; the data (if any) is already stale
+    // with respect to the new owner, but writing it back is harmless
+    // because memory is stale anyway while an M copy exists.
+    ++stats_.puts_stale;
+    if (p.dirty) fabric_.drams[node_]->write(t);
+  } else {
+    // No entry: an ALLARM-untracked home line, or the entry was already
+    // evicted (the eviction probe consumed the cached copy via the
+    // writeback buffer).
+    if (p.dirty) fabric_.drams[node_]->write(t);
+    if (mode_ == DirectoryMode::kAllarm && p.from == node_) {
+      ++stats_.puts_local_untracked;
+    } else {
+      ++stats_.puts_stale;
+    }
+  }
+  const Tick t_ack =
+      send(node_, p.from, MsgKind::kPutAck, noc::TrafficCause::kResponse, t);
+  fabric_.at(t_ack, [this, p] {
+    fabric_.caches[p.from]->put_ack(p.line, fabric_.events->now());
+  });
+}
+
+void DirectoryController::clear() {
+  pf_.clear();
+  busy_.clear();
+  waiting_.clear();
+}
+
+}  // namespace allarm::coherence

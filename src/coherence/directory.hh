@@ -1,0 +1,142 @@
+// Per-node directory controller: Hammer-style protocol with a sparse
+// directory (probe filter), plus the ALLARM allocation policy.
+//
+// Transactions are serialized per line: while a request or probe-filter
+// eviction for line L is in flight, later requests and writebacks for L
+// queue in FIFO order.  This sidesteps transient-state races while
+// preserving every quantity the paper measures (allocations, evictions,
+// message counts, latencies).
+//
+// Baseline policy (Hammer + probe filter, AMD HT-Assist style):
+//   * every miss allocates an entry; absence of an entry implies the line
+//     is uncached anywhere;
+//   * clean-exclusive evictions notify the directory and free the entry
+//     (the paper's "already optimized" baseline);
+//   * probe-filter evictions invalidate the tracked line in all caches
+//     (directed probe for EM entries, broadcast for Owned/Shared since
+//     Hammer does not track sharer sets).
+//
+// ALLARM additions (Section II of the paper):
+//   * a miss whose requester is the home node's own core is served straight
+//     from DRAM with NO entry allocated;
+//   * a miss from a remote core additionally probes the home node's local
+//     cache (the line may be cached there untracked), in parallel with the
+//     speculative DRAM read; the probe is hidden whenever it misses and
+//     DRAM is slower (Figure 3g);
+//   * ALLARM can be disabled per directory and per physical range
+//     (MTRR-like range registers).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <variant>
+
+#include "cache/cache.hh"
+#include "coherence/fabric.hh"
+#include "coherence/messages.hh"
+#include "coherence/probe_filter.hh"
+#include "common/config.hh"
+
+namespace allarm::coherence {
+
+/// Counters exported per directory.
+struct DirectoryStats {
+  std::uint64_t requests = 0;
+  std::uint64_t local_requests = 0;   ///< Requester co-located with directory.
+  std::uint64_t remote_requests = 0;  ///< Requester in another affinity domain.
+  std::uint64_t queued_ops = 0;       ///< Operations that waited on a busy line.
+
+  std::uint64_t pf_evictions = 0;          ///< Capacity evictions (Figure 3b).
+  std::uint64_t eviction_messages = 0;     ///< Probes+acks of eviction flows (Fig 3d).
+  std::uint64_t eviction_lines_invalidated = 0;  ///< Cached lines killed by evictions.
+  std::uint64_t eviction_dirty_writebacks = 0;
+
+  // ALLARM-specific (all zero in baseline mode).
+  std::uint64_t local_no_alloc = 0;        ///< Local misses served without allocation.
+  std::uint64_t remote_miss_probes = 0;    ///< Local probes issued (remote PF misses).
+  std::uint64_t remote_miss_probe_hidden = 0;  ///< Probe off the critical path (Fig 3g).
+  std::uint64_t remote_miss_probe_hit = 0;     ///< Home cache held the line untracked.
+
+  std::uint64_t puts_local_untracked = 0;  ///< Puts for ALLARM-untracked home lines.
+  std::uint64_t puts_stale = 0;            ///< Puts that lost a race (entry moved on).
+  std::uint64_t puts_owner = 0;            ///< Puts from the tracked owner.
+  std::uint64_t anomalies = 0;             ///< Defensive-path activations (expect 0).
+  std::uint64_t victim_stalls = 0;         ///< All PF ways pinned; retried later.
+};
+
+/// The directory controller for one node.
+class DirectoryController {
+ public:
+  DirectoryController(NodeId node, Fabric& fabric, DirectoryMode mode,
+                      std::uint64_t seed);
+
+  NodeId node() const { return node_; }
+  DirectoryMode mode() const { return mode_; }
+
+  /// Handles a GetS/GetM arriving now (called at arrival event time).
+  void handle_request(const Request& request);
+
+  /// Handles a PutM/PutE arriving now.
+  void handle_put(const Put& put);
+
+  const ProbeFilter& probe_filter() const { return pf_; }
+  const DirectoryStats& stats() const { return stats_; }
+
+  /// True while a transaction for `line` is in flight.
+  bool line_busy(LineAddr line) const { return busy_.count(line) != 0; }
+
+  /// True when no transaction is in flight and nothing is queued.
+  bool quiescent() const { return busy_.empty() && waiting_.empty(); }
+
+  /// Zeroes all counters, keeping directory contents (ROI boundary).
+  void reset_stats() {
+    stats_ = DirectoryStats{};
+    pf_.reset_stats();
+  }
+
+  /// Drops all directory state (between experiment repetitions).
+  void clear();
+
+ private:
+  using QueuedOp = std::variant<Request, Put>;
+
+  // --- Plumbing -------------------------------------------------------------
+  Tick send(NodeId src, NodeId dst, MsgKind kind, noc::TrafficCause cause,
+            Tick when);
+  void grant_at(const Request& r, cache::LineState state, bool with_data,
+                Tick when);
+  /// Schedules the end of the transaction on `line` at time `when`.
+  void finish_at(LineAddr line, Tick when);
+  /// Releases `line` and processes queued operations.
+  void release_and_drain(LineAddr line);
+
+  // --- Request paths ----------------------------------------------------------
+  void start_request(const Request& r, Tick now);
+  void hit_gets(const Request& r, PfEntry& entry, Tick t);
+  void hit_getm(const Request& r, PfEntry& entry, Tick t);
+  void hit_getm_broadcast(const Request& r, PfEntry& entry, Tick t);
+  void miss(const Request& r, Tick t);
+
+  /// Directory-side eviction of `victim`; `done(t)` fires when every ack has
+  /// been collected.  Marks the victim line busy for the duration.
+  void run_eviction(const PfEntry& victim, Tick t,
+                    std::function<void(Tick)> done);
+
+  void process_put(const Put& p, Tick now);
+
+  bool allarm_active_for(LineAddr line) const;
+
+  NodeId node_;
+  Fabric& fabric_;
+  DirectoryMode mode_;
+  ProbeFilter pf_;
+  DirectoryStats stats_;
+  std::unordered_set<LineAddr> busy_;
+  std::unordered_map<LineAddr, std::deque<QueuedOp>> waiting_;
+};
+
+}  // namespace allarm::coherence

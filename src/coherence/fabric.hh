@@ -1,0 +1,49 @@
+// Wiring context shared by the per-node coherence controllers.
+//
+// The System (src/core) constructs all components, then fills in one Fabric
+// that gives every controller access to the event queue, the mesh, its
+// peers, the DRAMs, the physical home mapping and the ALLARM range
+// registers.  Controllers never own their peers; lifetime is managed by the
+// System.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/types.hh"
+#include "mem/dram.hh"
+#include "noc/mesh.hh"
+#include "numa/os.hh"
+#include "sim/event_queue.hh"
+
+namespace allarm::coherence {
+
+class CacheController;
+class DirectoryController;
+
+/// Non-owning wiring between coherence components.
+struct Fabric {
+  const SystemConfig* config = nullptr;
+  sim::EventQueue* events = nullptr;
+  noc::Mesh* mesh = nullptr;
+  std::vector<CacheController*> caches;       ///< Indexed by NodeId.
+  std::vector<DirectoryController*> directories;
+  std::vector<mem::Dram*> drams;
+  /// Physical address -> home node (the node whose DRAM holds it).
+  std::function<NodeId(Addr)> home_of;
+  /// ALLARM enable ranges (Section II-C). Null means "always active".
+  const numa::RangeRegisters* allarm_ranges = nullptr;
+
+  /// Convenience: schedules `fn` at absolute time `when`.
+  void at(Tick when, std::function<void()> fn) const {
+    events->schedule_at(when, std::move(fn));
+  }
+
+  /// True when ALLARM is active for this physical line address.
+  bool allarm_active(LineAddr line) const {
+    return allarm_ranges == nullptr || allarm_ranges->active(addr_of_line(line));
+  }
+};
+
+}  // namespace allarm::coherence

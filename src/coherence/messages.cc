@@ -1,0 +1,23 @@
+#include "coherence/messages.hh"
+
+namespace allarm::coherence {
+
+std::string to_string(MsgKind kind) {
+  switch (kind) {
+    case MsgKind::kGetS: return "GetS";
+    case MsgKind::kGetM: return "GetM";
+    case MsgKind::kPutM: return "PutM";
+    case MsgKind::kPutE: return "PutE";
+    case MsgKind::kProbeInv: return "ProbeInv";
+    case MsgKind::kProbeDown: return "ProbeDown";
+    case MsgKind::kLocalProbe: return "LocalProbe";
+    case MsgKind::kAck: return "Ack";
+    case MsgKind::kAckData: return "AckData";
+    case MsgKind::kData: return "Data";
+    case MsgKind::kComplete: return "Complete";
+    case MsgKind::kPutAck: return "PutAck";
+  }
+  return "?";
+}
+
+}  // namespace allarm::coherence

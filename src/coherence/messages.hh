@@ -1,0 +1,62 @@
+// Coherence protocol message vocabulary and sizing.
+//
+// The simulator is transaction-level: messages are not routed as objects,
+// but every protocol hop is charged to the mesh with the correct size and
+// cause.  This header centralizes the kinds and their wire sizes
+// (control = 8 bytes, data = 72 bytes, Table I).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/config.hh"
+#include "common/types.hh"
+
+namespace allarm::coherence {
+
+/// Protocol message kinds.
+enum class MsgKind : std::uint8_t {
+  kGetS,        ///< Read request (core -> home directory).
+  kGetM,        ///< Write / upgrade request.
+  kPutM,        ///< Dirty writeback (carries data).
+  kPutE,        ///< Clean-exclusive eviction notification (paper baseline).
+  kProbeInv,    ///< Invalidate probe (directory -> cache).
+  kProbeDown,   ///< Downgrade probe for a read (directory -> cache).
+  kLocalProbe,  ///< ALLARM's new message: directory queries its local cache.
+  kAck,         ///< Probe acknowledgment without data.
+  kAckData,     ///< Probe acknowledgment carrying the line.
+  kData,        ///< Data response to a requester.
+  kComplete,    ///< Data-less completion (upgrade grant).
+  kPutAck,      ///< Directory acknowledges a Put.
+};
+
+std::string to_string(MsgKind kind);
+
+/// True for messages that carry a full cache line.
+constexpr bool carries_data(MsgKind kind) {
+  return kind == MsgKind::kPutM || kind == MsgKind::kAckData ||
+         kind == MsgKind::kData;
+}
+
+/// Wire size of a message kind under `config`.
+constexpr std::uint32_t size_of(MsgKind kind, const SystemConfig& config) {
+  return carries_data(kind) ? config.data_msg_bytes : config.control_msg_bytes;
+}
+
+/// A demand request as seen by a directory.
+struct Request {
+  LineAddr line = 0;
+  NodeId from = kInvalidNode;
+  bool write = false;      ///< true: GetM, false: GetS.
+  bool has_line = false;   ///< Upgrade: requester already holds a clean copy.
+  Tick issued = 0;         ///< When the core issued it (for latency stats).
+};
+
+/// A writeback / eviction notification as seen by a directory.
+struct Put {
+  LineAddr line = 0;
+  NodeId from = kInvalidNode;
+  bool dirty = false;      ///< true: PutM (data), false: PutE (control).
+};
+
+}  // namespace allarm::coherence

@@ -1,0 +1,12 @@
+#include "common/log.hh"
+
+namespace allarm {
+
+LogLevel Log::level_ = LogLevel::kWarn;
+
+void Log::write(LogLevel level, const std::string& message) {
+  static const char* names[] = {"trace", "debug", "info", "warn", "error"};
+  std::cerr << '[' << names[static_cast<int>(level)] << "] " << message << '\n';
+}
+
+}  // namespace allarm

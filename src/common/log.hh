@@ -1,0 +1,54 @@
+// Minimal leveled logging for the simulator.
+//
+// Logging is off by default (level kWarn) so hot paths pay only a branch.
+// Protocol traces (the `protocol_trace` example) raise the level to kTrace.
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace allarm {
+
+enum class LogLevel : std::uint8_t { kTrace = 0, kDebug, kInfo, kWarn, kError };
+
+/// Global log configuration.
+class Log {
+ public:
+  static LogLevel level() { return level_; }
+  static void set_level(LogLevel level) { level_ = level; }
+  static bool enabled(LogLevel level) { return level >= level_; }
+
+  /// Emits one formatted line: "[lvl] message".
+  static void write(LogLevel level, const std::string& message);
+
+ private:
+  static LogLevel level_;
+};
+
+namespace detail {
+inline void append(std::ostringstream&) {}
+template <typename T, typename... Rest>
+void append(std::ostringstream& out, const T& value, const Rest&... rest) {
+  out << value;
+  append(out, rest...);
+}
+}  // namespace detail
+
+/// Logs all arguments, stream-style, at the given level.
+template <typename... Args>
+void log_at(LogLevel level, const Args&... args) {
+  if (!Log::enabled(level)) return;
+  std::ostringstream out;
+  detail::append(out, args...);
+  Log::write(level, out.str());
+}
+
+template <typename... Args> void log_trace(const Args&... a) { log_at(LogLevel::kTrace, a...); }
+template <typename... Args> void log_debug(const Args&... a) { log_at(LogLevel::kDebug, a...); }
+template <typename... Args> void log_info(const Args&... a)  { log_at(LogLevel::kInfo, a...); }
+template <typename... Args> void log_warn(const Args&... a)  { log_at(LogLevel::kWarn, a...); }
+template <typename... Args> void log_error(const Args&... a) { log_at(LogLevel::kError, a...); }
+
+}  // namespace allarm

@@ -1,0 +1,26 @@
+#include "common/rng.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace allarm {
+
+ZipfDistribution::ZipfDistribution(std::uint64_t n, double alpha) {
+  if (n == 0) throw std::invalid_argument("ZipfDistribution: empty support");
+  cdf_.resize(n);
+  double total = 0.0;
+  for (std::uint64_t r = 0; r < n; ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r + 1), alpha);
+    cdf_[r] = total;
+  }
+  for (auto& c : cdf_) c /= total;
+}
+
+std::uint64_t ZipfDistribution::operator()(Rng& rng) const {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::uint64_t>(it - cdf_.begin());
+}
+
+}  // namespace allarm

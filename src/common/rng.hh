@@ -1,0 +1,120 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic choice in the simulator flows from a seeded generator so
+// that each experiment is reproducible bit-for-bit.  SplitMix64 is used for
+// seeding / stream splitting; xoshiro256** is the workhorse generator.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace allarm {
+
+/// SplitMix64: tiny generator used to expand a single seed into the state of
+/// larger generators and to derive independent substreams.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: fast, high-quality 64-bit generator.
+/// Satisfies (most of) the UniformRandomBitGenerator requirements.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Constructs a generator whose full state is derived from `seed` via
+  /// SplitMix64, as recommended by the xoshiro authors.
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eed5eedull) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ull; }
+
+  result_type operator()() { return next(); }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). `bound` must be nonzero.
+  /// Uses Lemire's multiply-shift rejection method (unbiased).
+  std::uint64_t below(std::uint64_t bound) {
+    __uint128_t m = static_cast<__uint128_t>(next()) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        m = static_cast<__uint128_t>(next()) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t range(std::uint64_t lo, std::uint64_t hi) {
+    return lo + below(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with probability `p` of returning true.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Derives an independent generator for a named substream.
+  Rng split(std::uint64_t stream_id) {
+    SplitMix64 sm(next() ^ (stream_id * 0x9e3779b97f4a7c15ull));
+    Rng child(sm.next());
+    return child;
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Zipf-distributed integers over [0, n): rank r is drawn with probability
+/// proportional to 1/(r+1)^alpha.  Used to model skewed page popularity
+/// (hash tables, hot shared structures).
+class ZipfDistribution {
+ public:
+  ZipfDistribution(std::uint64_t n, double alpha);
+
+  /// Draws one sample in [0, n).
+  std::uint64_t operator()(Rng& rng) const;
+
+  std::uint64_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;  // Normalized cumulative weights.
+};
+
+}  // namespace allarm

@@ -1,0 +1,94 @@
+#include "common/stats.hh"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+namespace allarm {
+
+double StatSet::get(const std::string& name, double fallback) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+bool StatSet::contains(const std::string& name) const {
+  return values_.count(name) != 0;
+}
+
+double StatSet::normalized_to(const StatSet& base, const std::string& name,
+                              double fallback) const {
+  const double denom = base.get(name, 0.0);
+  if (denom == 0.0 || !contains(name)) return fallback;
+  return get(name) / denom;
+}
+
+void StatSet::merge(const StatSet& other, const std::string& prefix) {
+  for (const auto& [name, value] : other.values_) values_[prefix + name] = value;
+}
+
+std::string StatSet::to_string() const {
+  std::size_t width = 0;
+  for (const auto& [name, value] : values_) width = std::max(width, name.size());
+  std::ostringstream out;
+  for (const auto& [name, value] : values_) {
+    out << std::left << std::setw(static_cast<int>(width) + 2) << name
+        << value << '\n';
+  }
+  return out.str();
+}
+
+double geomean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (double v : values) {
+    if (v <= 0.0) return 0.0;
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::fmt(double v, int precision) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision) << v;
+  return out.str();
+}
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << std::left << std::setw(static_cast<int>(widths[c]) + 2) << row[c];
+    }
+    out << '\n';
+  };
+  emit_row(header_);
+  std::size_t total = 0;
+  for (auto w : widths) total += w + 2;
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+}  // namespace allarm

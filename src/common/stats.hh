@@ -1,0 +1,75 @@
+// Lightweight statistics collection.
+//
+// Components keep plain structs of 64-bit counters on their hot paths and
+// export them into a StatSet (a flat name -> value map) at the end of a run.
+// StatSet supports arithmetic helpers used by the experiment harness
+// (normalization against a baseline, geometric means, table formatting).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace allarm {
+
+/// A flat, ordered collection of named scalar statistics.
+class StatSet {
+ public:
+  /// Sets (or overwrites) a statistic.
+  void set(const std::string& name, double value) { values_[name] = value; }
+
+  /// Adds to a statistic, creating it at zero if absent.
+  void add(const std::string& name, double value) { values_[name] += value; }
+
+  /// Returns the value of `name`, or `fallback` when absent.
+  double get(const std::string& name, double fallback = 0.0) const;
+
+  /// Returns true when `name` is present.
+  bool contains(const std::string& name) const;
+
+  /// Returns the ratio this[name] / base[name]; returns `fallback` when the
+  /// denominator is zero or either side is missing.
+  double normalized_to(const StatSet& base, const std::string& name,
+                       double fallback = 1.0) const;
+
+  /// Merges all statistics from `other`, prefixing names with `prefix`.
+  void merge(const StatSet& other, const std::string& prefix = "");
+
+  const std::map<std::string, double>& values() const { return values_; }
+
+  /// Renders all statistics as aligned "name value" lines.
+  std::string to_string() const;
+
+ private:
+  std::map<std::string, double> values_;
+};
+
+/// Geometric mean of a list of strictly positive values.
+/// Returns 0 when the list is empty or any entry is non-positive.
+double geomean(const std::vector<double>& values);
+
+/// Arithmetic mean; returns 0 for an empty list.
+double mean(const std::vector<double>& values);
+
+/// A simple fixed-width text table used by the benchmark harness to print
+/// paper-style figure/table rows.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a row; the row is padded/truncated to the header width.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with `precision` decimal places.
+  static std::string fmt(double v, int precision = 3);
+
+  /// Renders the table with aligned columns.
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace allarm

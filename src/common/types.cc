@@ -1,0 +1,14 @@
+#include "common/types.hh"
+
+namespace allarm {
+
+std::string to_string(AccessType type) {
+  switch (type) {
+    case AccessType::kLoad: return "load";
+    case AccessType::kStore: return "store";
+    case AccessType::kInstFetch: return "ifetch";
+  }
+  return "unknown";
+}
+
+}  // namespace allarm

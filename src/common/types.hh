@@ -1,0 +1,96 @@
+// Fundamental types shared by every ALLARM library.
+//
+// The simulator measures time in integer picoseconds so that sub-nanosecond
+// quantities (e.g. the 0.5 ns serialization delay of one 4-byte flit on an
+// 8 GB/s link) are represented exactly.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace allarm {
+
+/// Simulated time in picoseconds.
+using Tick = std::uint64_t;
+
+/// Number of ticks in one nanosecond.
+inline constexpr Tick kTicksPerNs = 1000;
+
+/// Converts nanoseconds (possibly fractional) to ticks.
+constexpr Tick ticks_from_ns(double nanoseconds) {
+  return static_cast<Tick>(nanoseconds * static_cast<double>(kTicksPerNs));
+}
+
+/// Converts ticks to (fractional) nanoseconds, for reporting.
+constexpr double ns_from_ticks(Tick t) {
+  return static_cast<double>(t) / static_cast<double>(kTicksPerNs);
+}
+
+/// A sentinel tick meaning "never".
+inline constexpr Tick kTickNever = std::numeric_limits<Tick>::max();
+
+/// Physical or virtual byte address.
+using Addr = std::uint64_t;
+
+/// Identifier of a node (core + caches + directory + memory controller).
+using NodeId = std::uint16_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/// Identifier of a software thread.
+using ThreadId = std::uint32_t;
+
+/// Identifier of an address space (process).
+using AddressSpaceId = std::uint32_t;
+
+/// Log2 of the cache-line size in bytes (64-byte lines, Table I).
+inline constexpr unsigned kLineBits = 6;
+
+/// Cache-line size in bytes.
+inline constexpr unsigned kLineBytes = 1u << kLineBits;
+
+/// A cache-line-aligned address expressed in units of lines
+/// (i.e. byte address >> kLineBits).
+using LineAddr = std::uint64_t;
+
+/// Extracts the line address from a byte address.
+constexpr LineAddr line_of(Addr byte_addr) { return byte_addr >> kLineBits; }
+
+/// First byte address of a line.
+constexpr Addr addr_of_line(LineAddr line) {
+  return static_cast<Addr>(line) << kLineBits;
+}
+
+/// Log2 of the page size (4 KiB pages).
+inline constexpr unsigned kPageBits = 12;
+
+/// Page size in bytes.
+inline constexpr unsigned kPageBytes = 1u << kPageBits;
+
+/// Number of cache lines per page.
+inline constexpr unsigned kLinesPerPage = kPageBytes / kLineBytes;
+
+/// A page number (byte address >> kPageBits).
+using PageNum = std::uint64_t;
+
+/// Extracts the page number from a byte address.
+constexpr PageNum page_of(Addr byte_addr) { return byte_addr >> kPageBits; }
+
+/// First byte address of a page.
+constexpr Addr addr_of_page(PageNum page) {
+  return static_cast<Addr>(page) << kPageBits;
+}
+
+/// Kind of a memory access issued by a core.
+enum class AccessType : std::uint8_t {
+  kLoad,        ///< Data read.
+  kStore,       ///< Data write.
+  kInstFetch,   ///< Instruction fetch (serviced by the L1I).
+};
+
+/// Returns a short human-readable name for an access type.
+std::string to_string(AccessType type);
+
+}  // namespace allarm

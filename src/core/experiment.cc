@@ -1,0 +1,34 @@
+#include "core/experiment.hh"
+
+#include <cstdlib>
+#include <string>
+
+namespace allarm::core {
+
+RunResult run_single(SystemConfig config, DirectoryMode mode,
+                     const workload::WorkloadSpec& spec, std::uint64_t seed,
+                     numa::AllocPolicy policy) {
+  config.directory_mode = mode;
+  System system(config, policy);
+  RunOptions options;
+  options.seed = seed;
+  return system.run(spec, options);
+}
+
+PairResult run_pair(const SystemConfig& config,
+                    const workload::WorkloadSpec& spec, std::uint64_t seed) {
+  PairResult result;
+  result.baseline = run_single(config, DirectoryMode::kBaseline, spec, seed);
+  result.allarm = run_single(config, DirectoryMode::kAllarm, spec, seed);
+  return result;
+}
+
+std::uint64_t bench_accesses(std::uint64_t fallback) {
+  if (const char* env = std::getenv("ALLARM_BENCH_ACCESSES")) {
+    const std::uint64_t v = std::strtoull(env, nullptr, 10);
+    if (v > 0) return v;
+  }
+  return fallback;
+}
+
+}  // namespace allarm::core

@@ -1,0 +1,45 @@
+// Experiment harness: the one place that knows how to run
+// (workload x configuration) pairs and derive the metrics each paper
+// figure reports.  Used by every bench binary and by the integration tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/config.hh"
+#include "core/system.hh"
+#include "workload/spec.hh"
+
+namespace allarm::core {
+
+/// Runs `spec` once on a fresh System with the given directory mode.
+RunResult run_single(SystemConfig config, DirectoryMode mode,
+                     const workload::WorkloadSpec& spec, std::uint64_t seed,
+                     numa::AllocPolicy policy = numa::AllocPolicy::kFirstTouch);
+
+/// Baseline + ALLARM runs of the same workload and seed.
+struct PairResult {
+  RunResult baseline;
+  RunResult allarm;
+
+  /// allarm/baseline ratio of a named statistic (1.0 when undefined).
+  double normalized(const std::string& stat) const {
+    return allarm.stats.normalized_to(baseline.stats, stat);
+  }
+  /// Baseline runtime / ALLARM runtime (the paper's speedup).
+  double speedup() const {
+    return allarm.runtime == 0
+               ? 1.0
+               : static_cast<double>(baseline.runtime) /
+                     static_cast<double>(allarm.runtime);
+  }
+};
+
+PairResult run_pair(const SystemConfig& config,
+                    const workload::WorkloadSpec& spec, std::uint64_t seed);
+
+/// Number of accesses per thread used by the figure benches.  Reads the
+/// ALLARM_BENCH_ACCESSES environment variable; defaults to `fallback`.
+std::uint64_t bench_accesses(std::uint64_t fallback);
+
+}  // namespace allarm::core

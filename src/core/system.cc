@@ -1,0 +1,454 @@
+#include "core/system.hh"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "common/log.hh"
+
+namespace allarm::core {
+
+using cache::LineState;
+using coherence::PfEntry;
+using coherence::PfState;
+
+struct System::ThreadRuntime {
+  workload::ThreadSpec spec;
+  std::unique_ptr<workload::AccessGenerator> generator;
+  Rng rng{0};
+  std::uint64_t remaining = 0;
+  bool in_warmup = false;
+  Tick crossed_warmup_at = 0;  ///< When this thread entered its ROI.
+  Tick finished_at = 0;
+};
+
+System::System(const SystemConfig& config, numa::AllocPolicy policy)
+    : config_(config),
+      mesh_(config),
+      os_(config, policy),
+      energy_(config) {
+  config_.validate();
+  const std::uint32_t n = config_.num_nodes();
+  fabric_.config = &config_;
+  fabric_.events = &events_;
+  fabric_.mesh = &mesh_;
+  fabric_.allarm_ranges = &ranges_;
+  fabric_.home_of = [this](Addr paddr) { return os_.home_of(paddr); };
+  for (NodeId i = 0; i < n; ++i) {
+    drams_.push_back(std::make_unique<mem::Dram>(config_));
+    caches_.push_back(
+        std::make_unique<coherence::CacheController>(i, fabric_, 0x1000 + i));
+    dirs_.push_back(std::make_unique<coherence::DirectoryController>(
+        i, fabric_, config_.directory_mode, 0x2000 + i));
+  }
+  for (NodeId i = 0; i < n; ++i) {
+    fabric_.drams.push_back(drams_[i].get());
+    fabric_.caches.push_back(caches_[i].get());
+    fabric_.directories.push_back(dirs_[i].get());
+  }
+}
+
+System::~System() = default;
+
+void System::set_directory_mode(NodeId node, DirectoryMode mode) {
+  if (ran_) throw std::logic_error("System: cannot change mode after run()");
+  // Directories are immutable once built; rebuild the one node.
+  dirs_.at(node) = std::make_unique<coherence::DirectoryController>(
+      node, fabric_, mode, 0x2000 + node);
+  fabric_.directories.at(node) = dirs_.at(node).get();
+}
+
+void System::begin_roi() {
+  roi_start_ = events_.now();
+  mesh_.reset_stats();
+  for (auto& d : drams_) d->reset_stats();
+  for (auto& c : caches_) c->reset_stats();
+  for (auto& d : dirs_) d->reset_stats();
+}
+
+void System::issue_next(ThreadRuntime& thread) {
+  if (thread.in_warmup && thread.remaining <= thread.spec.accesses) {
+    // This thread has crossed from warm-up into its region of interest.
+    thread.in_warmup = false;
+    thread.crossed_warmup_at = events_.now();
+    if (--threads_in_warmup_ == 0) begin_roi();
+  }
+  if (thread.remaining == 0) {
+    thread.finished_at = events_.now();
+    --threads_running_;
+    return;
+  }
+  const NodeId node = os_.node_of_thread(thread.spec.id);
+  if (caches_[node]->busy_with_core_request()) {
+    // Another thread currently occupies this core (possible after a
+    // migration): timeshare by retrying once the pipeline drains.
+    events_.schedule_in(ticks_from_ns(100.0),
+                        [this, &thread] { issue_next(thread); });
+    return;
+  }
+  --thread.remaining;
+  const workload::Access access =
+      thread.generator->next(thread.rng, events_.now());
+  const Addr paddr = os_.touch(thread.spec.asid, access.vaddr, node);
+
+  ++accesses_done_;
+  if (invariant_period_ != 0 && accesses_done_ % invariant_period_ == 0) {
+    check_invariants(/*strict=*/false);
+  }
+
+  caches_[node]->core_access(access.type, paddr, [this, &thread](Tick done) {
+    Tick think = thread.spec.think;
+    if (think != 0 && thread.spec.think_jitter > 0.0) {
+      const double jitter =
+          1.0 + thread.spec.think_jitter * (2.0 * thread.rng.uniform() - 1.0);
+      think = static_cast<Tick>(static_cast<double>(think) * jitter);
+    }
+    events_.schedule_at(done + think, [this, &thread] { issue_next(thread); });
+  });
+}
+
+void System::schedule_migrations(const RunOptions& options) {
+  if (options.migration_interval == 0) return;
+  const Tick interval = options.migration_interval;
+  auto tick = std::make_shared<std::function<void()>>();
+  *tick = [this, interval, tick] {
+    if (threads_running_ == 0) return;
+    // Pick a running thread and move it to a random other node.
+    std::vector<ThreadRuntime*> running;
+    for (auto& t : threads_) {
+      if (t->remaining > 0) running.push_back(t.get());
+    }
+    if (!running.empty()) {
+      ThreadRuntime* victim =
+          running[migration_rng_.below(running.size())];
+      const NodeId cur = os_.node_of_thread(victim->spec.id);
+      NodeId dst = static_cast<NodeId>(
+          migration_rng_.below(config_.num_nodes()));
+      if (dst == cur) dst = static_cast<NodeId>((dst + 1) % config_.num_nodes());
+      os_.migrate_thread(victim->spec.id, dst);
+    }
+    events_.schedule_in(interval, *tick);
+  };
+  events_.schedule_in(interval, *tick);
+}
+
+RunResult System::run(const workload::WorkloadSpec& spec,
+                      const RunOptions& options) {
+  if (ran_) throw std::logic_error("System: run() may be called once");
+  ran_ = true;
+  invariant_period_ = options.invariant_check_period;
+  migration_rng_ = Rng(options.seed ^ 0xabcdef);
+
+  if (spec.setup) spec.setup(os_);
+
+  Rng seeder(options.seed);
+  for (const workload::ThreadSpec& ts : spec.threads) {
+    auto rt = std::make_unique<ThreadRuntime>();
+    rt->spec = ts;
+    rt->generator = ts.make_generator();
+    rt->rng = Rng(seeder.next() ^ (ts.id * 0x9e3779b9ull));
+    rt->remaining = ts.warmup_accesses + ts.accesses;
+    rt->in_warmup = ts.warmup_accesses > 0;
+    if (rt->in_warmup) ++threads_in_warmup_;
+    os_.place_thread(ts.id, ts.node);
+    threads_.push_back(std::move(rt));
+  }
+  threads_running_ = static_cast<std::uint32_t>(threads_.size());
+
+  for (auto& t : threads_) {
+    ThreadRuntime* rt = t.get();
+    events_.schedule_at(rt->spec.start_offset, [this, rt] { issue_next(*rt); });
+  }
+  schedule_migrations(options);
+
+  events_.run();  // Drains: threads stop issuing, writebacks settle.
+
+  if (!quiescent()) {
+    throw std::logic_error("System: event queue drained but not quiescent");
+  }
+  check_invariants(/*strict=*/true);
+
+  RunResult result;
+  for (auto& t : threads_) {
+    // Per-thread region-of-interest time: from the moment this thread
+    // finished its own warm-up until it completed its accesses.  Using the
+    // per-thread origin (rather than one global instant) makes runtimes
+    // comparable across configurations even when warm-up durations differ.
+    const Tick finish = t->finished_at > t->crossed_warmup_at
+                            ? t->finished_at - t->crossed_warmup_at
+                            : 0;
+    result.thread_finish.push_back(finish);
+    result.runtime = std::max(result.runtime, finish);
+  }
+  result.stats = collect_stats(result.runtime);
+  return result;
+}
+
+bool System::quiescent() const {
+  for (const auto& c : caches_) {
+    if (c->request_outstanding() || c->writebacks_in_flight() != 0) return false;
+  }
+  for (const auto& d : dirs_) {
+    if (!d->quiescent()) return false;
+  }
+  return true;
+}
+
+void System::check_invariants(bool strict) const {
+  struct Holder {
+    NodeId node;
+    LineState state;
+  };
+  std::unordered_map<LineAddr, std::vector<Holder>> held;
+  for (NodeId n = 0; n < config_.num_nodes(); ++n) {
+    caches_[n]->hierarchy().for_each([&held, n](LineAddr line, LineState s) {
+      held[line].push_back(Holder{n, s});
+    });
+  }
+
+  auto fail = [](const std::string& what, LineAddr line) {
+    throw std::logic_error("invariant violation: " + what + " (line " +
+                           std::to_string(line) + ")");
+  };
+
+  for (const auto& [line, holders] : held) {
+    int m = 0, e = 0, o = 0;
+    std::unordered_map<NodeId, int> per_node;
+    for (const Holder& h : holders) {
+      if (++per_node[h.node] > 1) fail("line duplicated within a node", line);
+      if (h.state == LineState::kModified) ++m;
+      if (h.state == LineState::kExclusive) ++e;
+      if (h.state == LineState::kOwned) ++o;
+    }
+    if (m + e > 0 && holders.size() != 1) {
+      fail("M/E copy coexists with another copy", line);
+    }
+    if (o > 1) fail("multiple Owned copies", line);
+
+    // Directory coverage.
+    const NodeId home = os_.home_of(addr_of_line(line));
+    if (dirs_[home]->line_busy(line)) continue;  // Mid-transaction.
+    const PfEntry* entry = dirs_[home]->probe_filter().peek(line);
+    if (entry == nullptr) {
+      const bool allarm = dirs_[home]->mode() == DirectoryMode::kAllarm &&
+                          ranges_.active(addr_of_line(line));
+      if (!allarm) fail("cached line untracked under baseline", line);
+      for (const Holder& h : holders) {
+        if (h.node != home) fail("remote cached line untracked under ALLARM", line);
+      }
+    }
+  }
+
+  if (!strict) return;
+
+  // Entry/cache agreement (quiescent only).
+  for (NodeId h = 0; h < config_.num_nodes(); ++h) {
+    dirs_[h]->probe_filter().for_each([&](const PfEntry& entry) {
+      if (dirs_[h]->line_busy(entry.line)) return;
+      const auto it = held.find(entry.line);
+      const auto holders =
+          it == held.end() ? std::vector<Holder>{} : it->second;
+      switch (entry.state) {
+        case PfState::kEM: {
+          if (holders.size() != 1 || holders[0].node != entry.owner ||
+              (holders[0].state != LineState::kModified &&
+               holders[0].state != LineState::kExclusive)) {
+            fail("EM entry does not match a sole M/E holder", entry.line);
+          }
+          break;
+        }
+        case PfState::kOwned: {
+          bool owner_ok = false;
+          for (const Holder& hh : holders) {
+            if (hh.node == entry.owner) {
+              owner_ok = hh.state == LineState::kOwned;
+            } else if (hh.state != LineState::kShared) {
+              fail("non-owner holds non-Shared under Owned entry", entry.line);
+            }
+          }
+          if (!owner_ok) fail("Owned entry without an Owned holder", entry.line);
+          break;
+        }
+        case PfState::kShared: {
+          for (const Holder& hh : holders) {
+            if (hh.state != LineState::kShared) {
+              fail("non-Shared holder under Shared entry", entry.line);
+            }
+          }
+          break;  // Stale (holderless) Shared entries are legal in Hammer.
+        }
+        case PfState::kInvalid:
+          fail("invalid entry enumerated", entry.line);
+      }
+    });
+  }
+}
+
+StatSet System::collect_stats(Tick runtime) const {
+  StatSet s;
+  s.set("runtime_ns", ns_from_ticks(runtime));
+
+  const noc::NocStats& nw = mesh_.stats();
+  s.set("noc.bytes", static_cast<double>(nw.bytes));
+  s.set("noc.messages", static_cast<double>(nw.messages));
+  s.set("noc.control_messages", static_cast<double>(nw.control_messages));
+  s.set("noc.data_messages", static_cast<double>(nw.data_messages));
+  s.set("noc.flit_hops", static_cast<double>(nw.flit_hops));
+  s.set("noc.local_messages", static_cast<double>(nw.local_messages));
+  for (std::size_t c = 0; c < noc::kNumTrafficCauses; ++c) {
+    s.set("noc.bytes." + to_string(static_cast<noc::TrafficCause>(c)),
+          static_cast<double>(nw.bytes_by_cause[c]));
+  }
+
+  coherence::DirectoryStats dir{};
+  coherence::ProbeFilterStats pf{};
+  std::uint64_t pf_occupancy = 0;
+  for (const auto& d : dirs_) {
+    const auto& ds = d->stats();
+    dir.requests += ds.requests;
+    dir.local_requests += ds.local_requests;
+    dir.remote_requests += ds.remote_requests;
+    dir.queued_ops += ds.queued_ops;
+    dir.pf_evictions += ds.pf_evictions;
+    dir.eviction_messages += ds.eviction_messages;
+    dir.eviction_lines_invalidated += ds.eviction_lines_invalidated;
+    dir.eviction_dirty_writebacks += ds.eviction_dirty_writebacks;
+    dir.local_no_alloc += ds.local_no_alloc;
+    dir.remote_miss_probes += ds.remote_miss_probes;
+    dir.remote_miss_probe_hidden += ds.remote_miss_probe_hidden;
+    dir.remote_miss_probe_hit += ds.remote_miss_probe_hit;
+    dir.puts_local_untracked += ds.puts_local_untracked;
+    dir.puts_stale += ds.puts_stale;
+    dir.puts_owner += ds.puts_owner;
+    dir.anomalies += ds.anomalies;
+    dir.victim_stalls += ds.victim_stalls;
+    const auto& ps = d->probe_filter().stats();
+    pf.reads += ps.reads;
+    pf.writes += ps.writes;
+    pf.hits += ps.hits;
+    pf.misses += ps.misses;
+    pf.inserts += ps.inserts;
+    pf_occupancy += d->probe_filter().occupancy();
+  }
+  s.set("dir.requests", static_cast<double>(dir.requests));
+  s.set("dir.local_requests", static_cast<double>(dir.local_requests));
+  s.set("dir.remote_requests", static_cast<double>(dir.remote_requests));
+  s.set("dir.local_fraction",
+        dir.requests ? static_cast<double>(dir.local_requests) / dir.requests
+                     : 0.0);
+  s.set("dir.queued_ops", static_cast<double>(dir.queued_ops));
+  s.set("dir.pf_evictions", static_cast<double>(dir.pf_evictions));
+  s.set("dir.eviction_messages", static_cast<double>(dir.eviction_messages));
+  s.set("dir.msgs_per_eviction",
+        dir.pf_evictions ? static_cast<double>(dir.eviction_messages) /
+                               dir.pf_evictions
+                         : 0.0);
+  s.set("dir.eviction_lines_invalidated",
+        static_cast<double>(dir.eviction_lines_invalidated));
+  s.set("dir.eviction_dirty_writebacks",
+        static_cast<double>(dir.eviction_dirty_writebacks));
+  s.set("dir.local_no_alloc", static_cast<double>(dir.local_no_alloc));
+  s.set("dir.remote_miss_probes", static_cast<double>(dir.remote_miss_probes));
+  s.set("dir.remote_miss_probe_hidden",
+        static_cast<double>(dir.remote_miss_probe_hidden));
+  s.set("dir.remote_miss_probe_hit",
+        static_cast<double>(dir.remote_miss_probe_hit));
+  s.set("dir.probe_hidden_fraction",
+        dir.remote_miss_probes
+            ? static_cast<double>(dir.remote_miss_probe_hidden) /
+                  dir.remote_miss_probes
+            : 0.0);
+  s.set("dir.victim_stalls", static_cast<double>(dir.victim_stalls));
+  s.set("pf.reads", static_cast<double>(pf.reads));
+  s.set("pf.writes", static_cast<double>(pf.writes));
+  s.set("pf.hits", static_cast<double>(pf.hits));
+  s.set("pf.misses", static_cast<double>(pf.misses));
+  s.set("pf.inserts", static_cast<double>(pf.inserts));
+  s.set("pf.final_occupancy", static_cast<double>(pf_occupancy));
+  {
+    std::uint64_t em = 0, owned = 0, shared = 0;
+    for (const auto& d : dirs_) {
+      d->probe_filter().for_each([&](const PfEntry& e) {
+        if (e.state == PfState::kEM) ++em;
+        else if (e.state == PfState::kOwned) ++owned;
+        else ++shared;
+      });
+    }
+    s.set("pf.entries_em", static_cast<double>(em));
+    s.set("pf.entries_owned", static_cast<double>(owned));
+    s.set("pf.entries_shared", static_cast<double>(shared));
+  }
+
+  coherence::CacheControllerStats cc{};
+  for (const auto& c : caches_) {
+    const auto& cs = c->stats();
+    cc.loads += cs.loads;
+    cc.stores += cs.stores;
+    cc.ifetches += cs.ifetches;
+    cc.l1_hits += cs.l1_hits;
+    cc.l2_hits += cs.l2_hits;
+    cc.misses += cs.misses;
+    cc.upgrades += cs.upgrades;
+    cc.puts_dirty += cs.puts_dirty;
+    cc.puts_clean += cs.puts_clean;
+    cc.silent_drops += cs.silent_drops;
+    cc.probes_seen += cs.probes_seen;
+    cc.probe_hits += cs.probe_hits;
+    cc.wbb_stalls += cs.wbb_stalls;
+    cc.upgrade_without_line += cs.upgrade_without_line;
+    cc.wbb_collisions += cs.wbb_collisions;
+    cc.total_miss_latency += cs.total_miss_latency;
+    cc.wbb_peak = std::max(cc.wbb_peak, cs.wbb_peak);
+  }
+  s.set("cache.loads", static_cast<double>(cc.loads));
+  s.set("cache.stores", static_cast<double>(cc.stores));
+  s.set("cache.ifetches", static_cast<double>(cc.ifetches));
+  s.set("cache.l1_hits", static_cast<double>(cc.l1_hits));
+  s.set("cache.l2_hits", static_cast<double>(cc.l2_hits));
+  s.set("cache.misses", static_cast<double>(cc.misses));
+  s.set("cache.upgrades", static_cast<double>(cc.upgrades));
+  s.set("cache.miss_latency_avg_ns",
+        cc.misses ? ns_from_ticks(cc.total_miss_latency) / cc.misses : 0.0);
+  s.set("cache.puts_dirty", static_cast<double>(cc.puts_dirty));
+  s.set("cache.puts_clean", static_cast<double>(cc.puts_clean));
+  s.set("cache.silent_drops", static_cast<double>(cc.silent_drops));
+  s.set("cache.probes_seen", static_cast<double>(cc.probes_seen));
+  s.set("cache.probe_hits", static_cast<double>(cc.probe_hits));
+  s.set("cache.wbb_stalls", static_cast<double>(cc.wbb_stalls));
+  s.set("cache.wbb_peak", static_cast<double>(cc.wbb_peak));
+
+  std::uint64_t dram_reads = 0, dram_writes = 0;
+  Tick dram_wait = 0;
+  for (const auto& d : drams_) {
+    dram_reads += d->stats().reads;
+    dram_writes += d->stats().writes;
+    dram_wait += d->stats().total_queue_wait;
+  }
+  s.set("dram.reads", static_cast<double>(dram_reads));
+  s.set("dram.writes", static_cast<double>(dram_writes));
+  s.set("dram.queue_wait_ns", ns_from_ticks(dram_wait));
+
+  const numa::OsStats& os = os_.stats();
+  s.set("os.pages_mapped", static_cast<double>(os.pages_mapped));
+  s.set("os.local_allocations", static_cast<double>(os.local_allocations));
+  s.set("os.spilled_allocations", static_cast<double>(os.spilled_allocations));
+  s.set("os.migrations", static_cast<double>(os.migrations));
+
+  s.set("energy.noc_nj", energy_.noc_energy_nj(nw));
+  s.set("energy.pf_nj",
+        energy_.pf_energy_nj(pf.reads, pf.writes, dir.pf_evictions));
+  s.set("energy.dram_nj", energy_.dram_energy_nj(dram_reads + dram_writes));
+
+  s.set("sanity.anomalies", static_cast<double>(dir.anomalies));
+  s.set("sanity.upgrade_without_line",
+        static_cast<double>(cc.upgrade_without_line));
+  s.set("sanity.wbb_collisions", static_cast<double>(cc.wbb_collisions));
+  s.set("sanity.puts_stale", static_cast<double>(dir.puts_stale));
+  s.set("sanity.puts_owner", static_cast<double>(dir.puts_owner));
+  s.set("sanity.puts_local_untracked",
+        static_cast<double>(dir.puts_local_untracked));
+  s.set("sim.events", static_cast<double>(events_.events_executed()));
+  return s;
+}
+
+}  // namespace allarm::core

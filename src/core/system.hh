@@ -1,0 +1,114 @@
+// Top-level simulated system: assembles the Table I machine (16 nodes, each
+// with a core, an L1I/L1D/exclusive-L2 hierarchy, a directory with probe
+// filter, and a DRAM channel, on a 4x4 mesh) and runs workloads on it.
+//
+// One System instance runs one workload once; experiments construct a fresh
+// System per (workload, configuration) pair so runs are fully independent
+// and reproducible.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "coherence/cache_controller.hh"
+#include "coherence/directory.hh"
+#include "coherence/fabric.hh"
+#include "common/config.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "energy/model.hh"
+#include "mem/dram.hh"
+#include "noc/mesh.hh"
+#include "numa/os.hh"
+#include "sim/event_queue.hh"
+#include "workload/spec.hh"
+
+namespace allarm::core {
+
+/// Optional run-time knobs.
+struct RunOptions {
+  std::uint64_t seed = 1;
+  /// When nonzero, one thread is migrated to a random other core every
+  /// interval (the ablation for Section II-E's migration discussion).
+  Tick migration_interval = 0;
+  /// Invariant-checking period in executed accesses (0 = only at the end).
+  std::uint64_t invariant_check_period = 0;
+};
+
+/// Results of one run.
+struct RunResult {
+  Tick runtime = 0;                 ///< Max thread completion time (ROI).
+  std::vector<Tick> thread_finish;  ///< Per-thread completion times.
+  StatSet stats;                    ///< Flat metric map (see system.cc).
+};
+
+/// The assembled machine.
+class System {
+ public:
+  System(const SystemConfig& config,
+         numa::AllocPolicy policy = numa::AllocPolicy::kFirstTouch);
+  ~System();
+
+  System(const System&) = delete;
+  System& operator=(const System&) = delete;
+
+  /// Runs `spec` to completion and returns aggregated metrics.
+  RunResult run(const workload::WorkloadSpec& spec, const RunOptions& options);
+
+  /// Overrides the directory mode of a single node (per-directory ALLARM
+  /// enablement, Section II-C).  Must be called before run().
+  void set_directory_mode(NodeId node, DirectoryMode mode);
+
+  /// ALLARM enable ranges; empty means "everywhere".
+  numa::RangeRegisters& allarm_ranges() { return ranges_; }
+
+  /// Verifies protocol invariants; throws std::logic_error on violation.
+  /// `strict` additionally checks directory-entry/cache agreement and is
+  /// only valid when the system is quiescent.
+  void check_invariants(bool strict) const;
+
+  /// True when no request, transaction or writeback is in flight.
+  bool quiescent() const;
+
+  // --- Component access (tests, examples) -----------------------------------
+  const SystemConfig& config() const { return config_; }
+  numa::Os& os() { return os_; }
+  sim::EventQueue& events() { return events_; }
+  noc::Mesh& mesh() { return mesh_; }
+  coherence::CacheController& cache(NodeId n) { return *caches_.at(n); }
+  coherence::DirectoryController& directory(NodeId n) { return *dirs_.at(n); }
+  mem::Dram& dram(NodeId n) { return *drams_.at(n); }
+
+ private:
+  struct ThreadRuntime;
+
+  void issue_next(ThreadRuntime& thread);
+  void schedule_migrations(const RunOptions& options);
+  StatSet collect_stats(Tick runtime) const;
+
+  SystemConfig config_;
+  sim::EventQueue events_;
+  noc::Mesh mesh_;
+  numa::Os os_;
+  numa::RangeRegisters ranges_;
+  coherence::Fabric fabric_;
+  std::vector<std::unique_ptr<mem::Dram>> drams_;
+  std::vector<std::unique_ptr<coherence::CacheController>> caches_;
+  std::vector<std::unique_ptr<coherence::DirectoryController>> dirs_;
+  energy::EnergyModel energy_;
+
+  std::vector<std::unique_ptr<ThreadRuntime>> threads_;
+  std::uint32_t threads_running_ = 0;
+  std::uint32_t threads_in_warmup_ = 0;
+  Tick roi_start_ = 0;
+  std::uint64_t accesses_done_ = 0;
+  std::uint64_t invariant_period_ = 0;
+  Rng migration_rng_{0};
+  bool ran_ = false;
+
+  void begin_roi();
+};
+
+}  // namespace allarm::core

@@ -1,0 +1,61 @@
+// DRAM / memory-controller model.
+//
+// Each node owns one memory controller fronting its share of DRAM
+// (128 MB per node in the Table I configuration).  The model is a fixed
+// access latency (60 ns) plus a simple bandwidth constraint: successive
+// accesses at one controller are separated by at least `dram_cycle`
+// (64 B / 10 ns = 6.4 GB/s per controller by default).
+#pragma once
+
+#include <cstdint>
+
+#include "common/config.hh"
+#include "common/types.hh"
+
+namespace allarm::mem {
+
+/// Statistics for one memory controller.
+struct DramStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  Tick total_queue_wait = 0;  ///< Accumulated time requests waited for the channel.
+};
+
+/// One per-node DRAM channel.
+class Dram {
+ public:
+  Dram(Tick access_latency, Tick cycle_time)
+      : latency_(access_latency), cycle_(cycle_time) {}
+
+  explicit Dram(const SystemConfig& config)
+      : Dram(config.dram_latency, config.dram_cycle) {}
+
+  /// Issues a read at time `now`; returns the time data is available.
+  Tick read(Tick now) { return access(now, /*write=*/false); }
+
+  /// Issues a write at time `now`; returns the time the write completes.
+  /// Writes are not on any request's critical path in this model, but they
+  /// do occupy channel bandwidth.
+  Tick write(Tick now) { return access(now, /*write=*/true); }
+
+  const DramStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = DramStats{}; }
+
+  Tick access_latency() const { return latency_; }
+
+ private:
+  Tick access(Tick now, bool write) {
+    const Tick start = now > channel_free_ ? now : channel_free_;
+    stats_.total_queue_wait += start - now;
+    channel_free_ = start + cycle_;
+    if (write) ++stats_.writes; else ++stats_.reads;
+    return start + latency_;
+  }
+
+  Tick latency_;
+  Tick cycle_;
+  Tick channel_free_ = 0;
+  DramStats stats_;
+};
+
+}  // namespace allarm::mem

@@ -1,0 +1,115 @@
+// On-chip interconnect: a 2-D mesh with XY (dimension-order) routing and a
+// per-link contention model.
+//
+// The model is message-level with virtual-cut-through-style timing: a
+// message occupies each link on its route for its serialization time
+// (flits x flit time) and pays per-hop propagation plus router pipeline
+// delay.  Queuing behind earlier messages on a link is modelled with a
+// per-link next-free time.  Byte counts (the quantity in Figure 3c of the
+// paper) are exact; latency under bursty load is approximated.
+//
+// Messages between co-located components (same node) never enter the mesh:
+// they pay only `local_hop_latency` and are accounted separately.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/types.hh"
+
+namespace allarm::noc {
+
+/// Why a message was sent; used for traffic breakdowns.
+enum class TrafficCause : std::uint8_t {
+  kRequest,       ///< GetS/GetM from a core to a directory.
+  kResponse,      ///< Data or completion back to the requesting core.
+  kProbe,         ///< Directory-initiated probe (demand flow).
+  kProbeAck,      ///< Ack / ack+data answering a demand probe.
+  kEviction,      ///< Invalidation probe caused by a probe-filter eviction.
+  kEvictionAck,   ///< Ack answering an eviction probe.
+  kWriteback,     ///< PutM/PutE from a cache to a directory.
+  kOther,
+};
+inline constexpr std::size_t kNumTrafficCauses = 8;
+
+std::string to_string(TrafficCause cause);
+
+/// Aggregate network statistics.
+struct NocStats {
+  std::uint64_t messages = 0;        ///< Mesh messages delivered.
+  std::uint64_t control_messages = 0;
+  std::uint64_t data_messages = 0;
+  std::uint64_t bytes = 0;           ///< Total bytes crossing mesh links once.
+  std::uint64_t flit_hops = 0;       ///< Sum over messages of flits x hops.
+  std::uint64_t router_crossings = 0;
+  std::uint64_t local_messages = 0;  ///< Same-node deliveries (not on mesh).
+  std::uint64_t bytes_by_cause[kNumTrafficCauses] = {};
+  std::uint64_t msgs_by_cause[kNumTrafficCauses] = {};
+};
+
+/// A width x height mesh with one network interface per node.
+class Mesh {
+ public:
+  explicit Mesh(const SystemConfig& config);
+
+  std::uint32_t width() const { return width_; }
+  std::uint32_t height() const { return height_; }
+  std::uint32_t num_nodes() const { return width_ * height_; }
+
+  /// Manhattan hop count between two nodes.
+  std::uint32_t hops(NodeId src, NodeId dst) const;
+
+  /// Sends a `bytes`-sized message from `src` to `dst` at time `now`.
+  /// Returns the arrival time at `dst` and updates traffic statistics.
+  /// A same-node send bypasses the mesh entirely.
+  Tick send(NodeId src, NodeId dst, std::uint32_t bytes, Tick now,
+            TrafficCause cause);
+
+  /// Latency of an uncontended `bytes`-sized transfer between two nodes.
+  /// Does not update any state; used for capacity planning and tests.
+  Tick uncontended_latency(NodeId src, NodeId dst, std::uint32_t bytes) const;
+
+  const NocStats& stats() const { return stats_; }
+  void reset_stats();
+
+  /// Total busy time accumulated on the most-loaded directed link.
+  Tick max_link_busy_time() const;
+
+ private:
+  // Directed link ids: node * 4 + direction (0=E,1=W,2=N,3=S).
+  enum Direction : std::uint32_t { kEast = 0, kWest, kNorth, kSouth };
+
+  std::uint32_t x_of(NodeId n) const { return n % width_; }
+  std::uint32_t y_of(NodeId n) const { return n / width_; }
+  NodeId node_at(std::uint32_t x, std::uint32_t y) const {
+    return static_cast<NodeId>(y * width_ + x);
+  }
+  std::uint32_t link_id(NodeId from, Direction d) const {
+    return from * 4 + d;
+  }
+
+  /// Appends the directed links of the XY route from src to dst.
+  void route(NodeId src, NodeId dst, std::vector<std::uint32_t>& out) const;
+
+  std::uint32_t flits_for(std::uint32_t bytes) const {
+    return (bytes + flit_bytes_ - 1) / flit_bytes_;
+  }
+
+  std::uint32_t width_;
+  std::uint32_t height_;
+  std::uint32_t flit_bytes_;
+  std::uint32_t control_bytes_;
+  Tick flit_time_;
+  Tick link_latency_;
+  Tick router_latency_;
+  Tick local_hop_latency_;
+
+  std::vector<Tick> link_free_;   ///< Next-free time per directed link.
+  std::vector<Tick> link_busy_;   ///< Accumulated busy time per link.
+  NocStats stats_;
+  mutable std::vector<std::uint32_t> route_scratch_;
+};
+
+}  // namespace allarm::noc

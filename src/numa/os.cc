@@ -1,0 +1,181 @@
+#include "numa/os.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace allarm::numa {
+
+// ------------------------------------------------------- FrameAllocator ----
+
+FrameAllocator::FrameAllocator(std::uint32_t num_nodes,
+                               std::uint64_t frames_per_node)
+    : frames_per_node_(frames_per_node), pools_(num_nodes) {
+  for (auto& p : pools_) p.capacity = frames_per_node;
+}
+
+void FrameAllocator::set_node_capacity(std::uint64_t frames) {
+  if (frames > frames_per_node_) {
+    throw std::invalid_argument("FrameAllocator: capacity exceeds node size");
+  }
+  for (auto& p : pools_) p.capacity = frames;
+}
+
+std::optional<PageNum> FrameAllocator::allocate_on(NodeId node) {
+  NodePool& p = pools_.at(node);
+  if (p.live >= p.capacity) return std::nullopt;
+  ++p.live;
+  if (!p.recycled.empty()) {
+    const PageNum f = p.recycled.back();
+    p.recycled.pop_back();
+    return f;
+  }
+  // Frames are handed out in a scrambled (but deterministic, bijective)
+  // order within the node, modelling the fragmented free lists of a
+  // long-running OS.  Contiguous virtual regions therefore map onto
+  // scattered physical frames, which is what exposes realistic
+  // set-conflict behaviour in the set-associative probe filter.
+  const std::uint64_t index = p.next_fresh++;
+  std::uint64_t scrambled = index;
+  if ((frames_per_node_ & (frames_per_node_ - 1)) == 0) {
+    // Bijective mix on log2(frames_per_node_) bits.  Multiplication alone
+    // would keep the low bits cycling uniformly (an odd multiplier is a
+    // bijection on every low-bit slice), so xor-shift rounds are
+    // interleaved to diffuse high bits downwards; each step is invertible,
+    // hence the whole mapping remains a permutation of the frame range.
+    const std::uint64_t mask = frames_per_node_ - 1;
+    unsigned width = 0;
+    while ((1ull << width) < frames_per_node_) ++width;
+    const unsigned half = width / 2 == 0 ? 1 : width / 2;
+    std::uint64_t x = index & mask;
+    x = (x * 0x9E3779B1ull) & mask;
+    x ^= x >> half;
+    x = (x * 0x85EBCA77ull) & mask;
+    x ^= x >> half;
+    scrambled = x & mask;
+  }
+  return static_cast<PageNum>(node) * frames_per_node_ + scrambled;
+}
+
+void FrameAllocator::release(PageNum frame) {
+  NodePool& p = pools_.at(node_of_frame(frame));
+  if (p.live == 0) throw std::logic_error("FrameAllocator: double release");
+  --p.live;
+  p.recycled.push_back(frame);
+}
+
+std::uint64_t FrameAllocator::free_frames(NodeId node) const {
+  const NodePool& p = pools_.at(node);
+  return p.capacity - p.live;
+}
+
+// ------------------------------------------------------------------ Os ----
+
+Os::Os(const SystemConfig& config, AllocPolicy policy)
+    : num_nodes_(config.num_nodes()),
+      mesh_width_(config.mesh_width),
+      dram_bytes_per_node_(config.dram_bytes_per_node()),
+      policy_(policy),
+      frames_(config.num_nodes(), config.dram_bytes_per_node() / kPageBytes) {
+  // Precompute per-node spill orders: self, then nearest by mesh distance.
+  spill_orders_.resize(num_nodes_);
+  for (NodeId n = 0; n < num_nodes_; ++n) {
+    auto& order = spill_orders_[n];
+    order.resize(num_nodes_);
+    for (NodeId m = 0; m < num_nodes_; ++m) order[m] = m;
+    auto dist = [this, n](NodeId m) {
+      const int dx = static_cast<int>(n % mesh_width_) -
+                     static_cast<int>(m % mesh_width_);
+      const int dy = static_cast<int>(n / mesh_width_) -
+                     static_cast<int>(m / mesh_width_);
+      return std::abs(dx) + std::abs(dy);
+    };
+    std::stable_sort(order.begin(), order.end(),
+                     [&](NodeId a, NodeId b) { return dist(a) < dist(b); });
+  }
+}
+
+const std::vector<NodeId>& Os::spill_order(NodeId node) const {
+  return spill_orders_.at(node);
+}
+
+PageNum Os::allocate_frame(PageNum vpage, NodeId toucher) {
+  NodeId preferred = toucher;
+  if (policy_ == AllocPolicy::kInterleave) {
+    preferred = static_cast<NodeId>(interleave_next_++ % num_nodes_);
+  }
+  (void)vpage;
+  for (const NodeId candidate : spill_order(preferred)) {
+    if (auto frame = frames_.allocate_on(candidate)) {
+      ++stats_.pages_mapped;
+      if (candidate == toucher) ++stats_.local_allocations;
+      else ++stats_.spilled_allocations;
+      return *frame;
+    }
+  }
+  throw std::runtime_error("Os: out of physical memory");
+}
+
+Addr Os::touch(AddressSpaceId asid, Addr vaddr, NodeId node) {
+  const bool kernel = vaddr >= kKernelSpaceBase;
+  const PageKey key{kernel ? kKernelAsid : asid, page_of(vaddr)};
+  auto it = page_table_.find(key);
+  if (it == page_table_.end()) {
+    // Kernel pages interleave round-robin by page index; user pages follow
+    // the configured policy.
+    const NodeId toucher =
+        kernel ? static_cast<NodeId>(key.vpage % num_nodes_) : node;
+    const PageNum frame = allocate_frame(key.vpage, toucher);
+    it = page_table_.emplace(key, frame).first;
+  }
+  return addr_of_page(it->second) | (vaddr & (kPageBytes - 1));
+}
+
+std::optional<Addr> Os::translate(AddressSpaceId asid, Addr vaddr) const {
+  if (vaddr >= kKernelSpaceBase) asid = kKernelAsid;
+  const auto it = page_table_.find(PageKey{asid, page_of(vaddr)});
+  if (it == page_table_.end()) return std::nullopt;
+  return addr_of_page(it->second) | (vaddr & (kPageBytes - 1));
+}
+
+bool Os::mark_next_touch(AddressSpaceId asid, Addr vaddr) {
+  if (vaddr >= kKernelSpaceBase) asid = kKernelAsid;
+  const auto it = page_table_.find(PageKey{asid, page_of(vaddr)});
+  if (it == page_table_.end()) return false;
+  frames_.release(it->second);
+  page_table_.erase(it);
+  ++stats_.next_touch_migrations;
+  return true;
+}
+
+void Os::place_thread(ThreadId thread, NodeId node) {
+  thread_node_[thread] = node;
+}
+
+NodeId Os::node_of_thread(ThreadId thread) const {
+  const auto it = thread_node_.find(thread);
+  return it == thread_node_.end() ? kInvalidNode : it->second;
+}
+
+void Os::migrate_thread(ThreadId thread, NodeId node) {
+  thread_node_[thread] = node;
+  ++stats_.migrations;
+}
+
+// ------------------------------------------------------- RangeRegisters ----
+
+void RangeRegisters::add_range(Addr base, std::uint64_t length) {
+  ranges_.emplace_back(base, base + length);
+}
+
+void RangeRegisters::clear() { ranges_.clear(); }
+
+bool RangeRegisters::active(Addr paddr) const {
+  if (ranges_.empty()) return true;  // No registers configured: always on.
+  for (const auto& [lo, hi] : ranges_) {
+    if (paddr >= lo && paddr < hi) return true;
+  }
+  return false;
+}
+
+}  // namespace allarm::numa

@@ -1,0 +1,176 @@
+// Operating-system memory model: affinity domains, page tables and NUMA
+// allocation policies.
+//
+// The ALLARM detection scheme relies only on the OS contract that a
+// first-touch allocation homes a page at the toucher's node whenever that
+// node has free frames, spilling to the nearest node otherwise.  This
+// module implements that contract (plus next-touch re-homing and an
+// interleaved policy used as an ablation baseline).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/types.hh"
+
+namespace allarm::numa {
+
+/// Page-placement policy.
+enum class AllocPolicy : std::uint8_t {
+  kFirstTouch,  ///< Home the page at the first toucher's node (Linux default).
+  kInterleave,  ///< Round-robin pages across nodes (ablation).
+};
+
+/// Per-node physical frame allocator.  Node `n` owns the frame range
+/// [n * frames_per_node, (n+1) * frames_per_node).
+class FrameAllocator {
+ public:
+  FrameAllocator(std::uint32_t num_nodes, std::uint64_t frames_per_node);
+
+  /// Caps every node at `frames` usable frames (models memory pressure;
+  /// must not exceed the physical frames per node).
+  void set_node_capacity(std::uint64_t frames);
+
+  /// Allocates one frame on `node`; returns std::nullopt when full.
+  std::optional<PageNum> allocate_on(NodeId node);
+
+  /// Returns the frame to its owning node's free pool.
+  void release(PageNum frame);
+
+  std::uint64_t free_frames(NodeId node) const;
+  std::uint64_t frames_per_node() const { return frames_per_node_; }
+
+  /// Node owning a physical frame.
+  NodeId node_of_frame(PageNum frame) const {
+    return static_cast<NodeId>(frame / frames_per_node_);
+  }
+
+ private:
+  struct NodePool {
+    std::uint64_t next_fresh = 0;      ///< Bump pointer within the node range.
+    std::uint64_t capacity = 0;        ///< Usable frames.
+    std::uint64_t live = 0;            ///< Currently allocated frames.
+    std::vector<PageNum> recycled;     ///< Freed frames available for reuse.
+  };
+
+  std::uint64_t frames_per_node_;
+  std::vector<NodePool> pools_;
+};
+
+/// OS statistics relevant to the paper's assumptions (Section II-A).
+struct OsStats {
+  std::uint64_t pages_mapped = 0;
+  std::uint64_t local_allocations = 0;   ///< Homed at the toucher's node.
+  std::uint64_t spilled_allocations = 0; ///< Homed elsewhere (best-effort miss).
+  std::uint64_t next_touch_migrations = 0;
+  std::uint64_t migrations = 0;          ///< Thread migrations performed.
+};
+
+/// Start of the global kernel virtual range: addresses at or above this are
+/// mapped in a single shared namespace regardless of the requesting address
+/// space (modelling the kernel image, page cache and other OS-shared data
+/// that a full-system simulation would exercise).
+inline constexpr Addr kKernelSpaceBase = 0x4000'0000'0000ull;
+
+/// Address-space id used internally for kernel mappings.
+inline constexpr AddressSpaceId kKernelAsid = 0xFFFFFFFFu;
+
+/// Page tables + allocator + a minimal thread scheduler.
+class Os {
+ public:
+  Os(const SystemConfig& config, AllocPolicy policy);
+
+  /// Touches the page containing `vaddr` from `node`, allocating a frame by
+  /// policy if unmapped.  Returns the physical address.  Addresses in the
+  /// kernel range are mapped in the shared kernel namespace, and are placed
+  /// round-robin across nodes irrespective of the allocation policy.
+  Addr touch(AddressSpaceId asid, Addr vaddr, NodeId node);
+
+  /// Translates without allocating; std::nullopt when unmapped.
+  std::optional<Addr> translate(AddressSpaceId asid, Addr vaddr) const;
+
+  /// Marks a page for next-touch migration: the current mapping is released
+  /// and the next toucher re-homes the page at its own node.
+  /// Returns false when the page was never mapped.
+  bool mark_next_touch(AddressSpaceId asid, Addr vaddr);
+
+  /// Home node of a physical address (which node's DRAM holds it).
+  NodeId home_of(Addr paddr) const {
+    return static_cast<NodeId>(paddr / dram_bytes_per_node_);
+  }
+
+  /// Caps usable frames per node (memory-pressure experiments).
+  void set_node_capacity(std::uint64_t frames) {
+    frames_.set_node_capacity(frames);
+  }
+
+  // --- Thread scheduling ---------------------------------------------------
+
+  /// Binds `thread` to `node` (initial placement or migration).
+  void place_thread(ThreadId thread, NodeId node);
+
+  /// Current node of `thread`; kInvalidNode when never placed.
+  NodeId node_of_thread(ThreadId thread) const;
+
+  /// Moves `thread` to `node`, counting a migration.
+  void migrate_thread(ThreadId thread, NodeId node);
+
+  const OsStats& stats() const { return stats_; }
+  AllocPolicy policy() const { return policy_; }
+
+ private:
+  /// Nodes in preference order for an allocation from `node`
+  /// (self first, then by Manhattan distance on the mesh, ties by id).
+  const std::vector<NodeId>& spill_order(NodeId node) const;
+
+  PageNum allocate_frame(PageNum vpage, NodeId toucher);
+
+  struct PageKey {
+    AddressSpaceId asid;
+    PageNum vpage;
+    bool operator==(const PageKey&) const = default;
+  };
+  struct PageKeyHash {
+    std::size_t operator()(const PageKey& k) const {
+      return std::hash<std::uint64_t>()(
+          (static_cast<std::uint64_t>(k.asid) << 40) ^ k.vpage);
+    }
+  };
+
+  std::uint32_t num_nodes_;
+  std::uint32_t mesh_width_;
+  std::uint64_t dram_bytes_per_node_;
+  AllocPolicy policy_;
+  FrameAllocator frames_;
+  std::unordered_map<PageKey, PageNum, PageKeyHash> page_table_;
+  std::unordered_map<ThreadId, NodeId> thread_node_;
+  std::vector<std::vector<NodeId>> spill_orders_;
+  std::uint64_t interleave_next_ = 0;
+  OsStats stats_;
+};
+
+/// MTRR-like range registers selecting the physical ranges on which ALLARM
+/// is active (Section II-C).  An empty register file means "ALLARM applies
+/// everywhere" so that the common configuration needs no setup.
+class RangeRegisters {
+ public:
+  /// Adds an active range [base, base + length).
+  void add_range(Addr base, std::uint64_t length);
+
+  /// Removes all ranges (back to "active everywhere").
+  void clear();
+
+  /// True when ALLARM is active for `paddr`.
+  bool active(Addr paddr) const;
+
+  std::size_t num_ranges() const { return ranges_.size(); }
+
+ private:
+  std::vector<std::pair<Addr, Addr>> ranges_;  // [base, end)
+};
+
+}  // namespace allarm::numa

@@ -1,0 +1,39 @@
+#include "sim/event_queue.hh"
+
+namespace allarm::sim {
+
+void EventQueue::schedule_at(Tick when, Action action) {
+  if (when < now_) {
+    throw std::logic_error("EventQueue: scheduling into the past");
+  }
+  heap_.push(Entry{when, seq_++, std::move(action)});
+}
+
+bool EventQueue::run_one() {
+  if (heap_.empty()) return false;
+  // priority_queue::top returns const&; the action must be moved out before
+  // pop.  const_cast is confined to this one extraction point.
+  Entry entry = std::move(const_cast<Entry&>(heap_.top()));
+  heap_.pop();
+  now_ = entry.when;
+  ++executed_;
+  entry.action();
+  return true;
+}
+
+std::uint64_t EventQueue::run(std::uint64_t max_events) {
+  std::uint64_t n = 0;
+  while (n < max_events && run_one()) ++n;
+  return n;
+}
+
+void EventQueue::run_until(Tick until) {
+  while (!heap_.empty() && heap_.top().when <= until) run_one();
+  if (now_ < until) now_ = until;
+}
+
+void EventQueue::clear() {
+  while (!heap_.empty()) heap_.pop();
+}
+
+}  // namespace allarm::sim

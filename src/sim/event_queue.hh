@@ -1,0 +1,73 @@
+// Discrete-event simulation kernel.
+//
+// A single EventQueue drives the whole system.  Events are closures ordered
+// by (tick, insertion sequence); same-tick events execute in FIFO order so
+// every run is deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace allarm::sim {
+
+/// Central event queue and simulation clock.
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  /// Current simulated time.
+  Tick now() const { return now_; }
+
+  /// Number of events executed so far.
+  std::uint64_t events_executed() const { return executed_; }
+
+  /// Number of events currently pending.
+  std::size_t pending() const { return heap_.size(); }
+
+  /// Schedules `action` to run at absolute time `when` (>= now()).
+  void schedule_at(Tick when, Action action);
+
+  /// Schedules `action` to run `delay` ticks from now.
+  void schedule_in(Tick delay, Action action) {
+    schedule_at(now_ + delay, std::move(action));
+  }
+
+  /// Executes the next event; returns false when the queue is empty.
+  bool run_one();
+
+  /// Runs until the queue drains or `max_events` have executed.
+  /// Returns the number of events executed by this call.
+  std::uint64_t run(std::uint64_t max_events = ~0ull);
+
+  /// Runs until the queue drains or simulated time exceeds `until`.
+  /// Events scheduled at exactly `until` are executed.
+  void run_until(Tick until);
+
+  /// Discards all pending events (used between experiment repetitions).
+  void clear();
+
+ private:
+  struct Entry {
+    Tick when;
+    std::uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  Tick now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace allarm::sim

@@ -1,0 +1,45 @@
+// Workload specification: a set of software threads, each with an access
+// generator, an initial core placement, and a page-placement setup step
+// modelling the application's initialization phase (which is what fixes
+// first-touch page homes).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "numa/os.hh"
+#include "workload/generator.hh"
+
+namespace allarm::workload {
+
+/// One software thread.
+struct ThreadSpec {
+  ThreadId id = 0;
+  AddressSpaceId asid = 0;
+  NodeId node = 0;  ///< Initial placement (the scheduler may migrate later).
+  /// Builds a fresh generator; called once per simulation run.
+  std::function<std::unique_ptr<AccessGenerator>()> make_generator;
+  std::uint64_t accesses = 0;  ///< Region-of-interest length.
+  /// Accesses executed before the region of interest (cache / directory
+  /// warm-up).  Statistics reset once every thread has crossed its warm-up.
+  std::uint64_t warmup_accesses = 0;
+  Tick think = 0;              ///< Mean compute time between accesses.
+  double think_jitter = 0.0;   ///< Uniform jitter fraction of `think`.
+  Tick start_offset = 0;       ///< Stagger between thread starts.
+};
+
+/// A complete workload.
+struct WorkloadSpec {
+  std::string name;
+  std::vector<ThreadSpec> threads;
+  /// Models the initialization phase: pre-touches pages in the order the
+  /// real application would, establishing first-touch page homes.  The
+  /// timed region of interest then starts with cold caches but placed pages.
+  std::function<void(numa::Os&)> setup;
+};
+
+}  // namespace allarm::workload

@@ -1,0 +1,125 @@
+#include "workload/trace.hh"
+
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+
+namespace allarm::workload {
+
+namespace {
+
+char letter_of(AccessType t) {
+  switch (t) {
+    case AccessType::kLoad: return 'L';
+    case AccessType::kStore: return 'S';
+    case AccessType::kInstFetch: return 'I';
+  }
+  return '?';
+}
+
+AccessType type_of(char c, std::size_t line_no) {
+  switch (c) {
+    case 'L': case 'l': return AccessType::kLoad;
+    case 'S': case 's': return AccessType::kStore;
+    case 'I': case 'i': return AccessType::kInstFetch;
+    default:
+      throw std::runtime_error("trace line " + std::to_string(line_no) +
+                               ": unknown access type '" + c + "'");
+  }
+}
+
+/// Replays one thread's slice of a trace.
+class TraceReplay final : public AccessGenerator {
+ public:
+  explicit TraceReplay(std::vector<Access> accesses)
+      : accesses_(std::move(accesses)) {}
+
+  Access next(Rng&, Tick) override {
+    if (index_ >= accesses_.size()) {
+      throw std::logic_error("TraceReplay: ran past the end of the trace");
+    }
+    return accesses_[index_++];
+  }
+
+ private:
+  std::vector<Access> accesses_;
+  std::size_t index_ = 0;
+};
+
+}  // namespace
+
+std::vector<TraceRecord> parse_trace(std::istream& in) {
+  std::vector<TraceRecord> records;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream fields(line);
+    std::uint64_t thread = 0;
+    std::string type;
+    std::string addr;
+    if (!(fields >> thread)) continue;  // Blank / comment-only line.
+    if (!(fields >> type >> addr) || type.empty()) {
+      throw std::runtime_error("trace line " + std::to_string(line_no) +
+                               ": expected '<tid> <L|S|I> <hex-addr>'");
+    }
+    TraceRecord r;
+    r.thread = static_cast<ThreadId>(thread);
+    r.access.type = type_of(type[0], line_no);
+    try {
+      r.access.vaddr = std::stoull(addr, nullptr, 16);
+    } catch (const std::exception&) {
+      throw std::runtime_error("trace line " + std::to_string(line_no) +
+                               ": bad address '" + addr + "'");
+    }
+    records.push_back(r);
+  }
+  return records;
+}
+
+void write_trace(std::ostream& out, const std::vector<TraceRecord>& records) {
+  for (const TraceRecord& r : records) {
+    out << r.thread << ' ' << letter_of(r.access.type) << ' ' << std::hex
+        << r.access.vaddr << std::dec << '\n';
+  }
+}
+
+WorkloadSpec make_trace_workload(const std::vector<TraceRecord>& records,
+                                 const SystemConfig& config, Tick think) {
+  std::map<ThreadId, std::vector<Access>> per_thread;
+  for (const TraceRecord& r : records) {
+    per_thread[r.thread].push_back(r.access);
+  }
+  if (per_thread.empty()) {
+    throw std::invalid_argument("make_trace_workload: empty trace");
+  }
+  WorkloadSpec spec;
+  spec.name = "trace";
+  for (auto& [tid, accesses] : per_thread) {
+    ThreadSpec ts;
+    ts.id = tid;
+    ts.asid = 0;
+    ts.node = static_cast<NodeId>(tid % config.num_nodes());
+    ts.accesses = accesses.size();
+    ts.think = think;
+    ts.think_jitter = 0.0;
+    auto copy = accesses;
+    ts.make_generator = [copy] {
+      return std::make_unique<TraceReplay>(copy);
+    };
+    spec.threads.push_back(std::move(ts));
+  }
+  return spec;
+}
+
+WorkloadSpec load_trace_workload(const std::string& path,
+                                 const SystemConfig& config, Tick think) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open trace file: " + path);
+  return make_trace_workload(parse_trace(in), config, think);
+}
+
+}  // namespace allarm::workload

@@ -1,0 +1,225 @@
+// Unit tests for the common library: types, configuration, RNG, statistics.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace allarm {
+namespace {
+
+// ----------------------------------------------------------------- types ----
+
+TEST(Types, TickConversionRoundTrips) {
+  EXPECT_EQ(ticks_from_ns(1.0), kTicksPerNs);
+  EXPECT_EQ(ticks_from_ns(60.0), 60 * kTicksPerNs);
+  EXPECT_DOUBLE_EQ(ns_from_ticks(ticks_from_ns(12.5)), 12.5);
+}
+
+TEST(Types, SubNanosecondQuantitiesAreExact) {
+  // One 4-byte flit on an 8 GB/s link takes exactly 0.5 ns.
+  EXPECT_EQ(ticks_from_ns(0.5), kTicksPerNs / 2);
+}
+
+TEST(Types, LineAndPageArithmetic) {
+  const Addr a = 0x12345678;
+  EXPECT_EQ(line_of(a), a >> 6);
+  EXPECT_EQ(addr_of_line(line_of(a)), a & ~Addr{63});
+  EXPECT_EQ(page_of(a), a >> 12);
+  EXPECT_EQ(addr_of_page(page_of(a)), a & ~Addr{4095});
+  EXPECT_EQ(kLinesPerPage, 64u);
+}
+
+TEST(Types, AccessTypeNames) {
+  EXPECT_EQ(to_string(AccessType::kLoad), "load");
+  EXPECT_EQ(to_string(AccessType::kStore), "store");
+  EXPECT_EQ(to_string(AccessType::kInstFetch), "ifetch");
+}
+
+// ---------------------------------------------------------------- config ----
+
+TEST(Config, TableIDefaultsValidate) {
+  SystemConfig config;
+  EXPECT_NO_THROW(config.validate());
+}
+
+TEST(Config, TableIDerivedQuantities) {
+  SystemConfig config;
+  EXPECT_EQ(config.num_nodes(), 16u);
+  EXPECT_EQ(config.probe_filter_entries(), 512u * 1024 / 64);
+  EXPECT_EQ(config.dram_bytes_per_node(), 128ull * 1024 * 1024);
+  EXPECT_EQ(config.l2.lines(), 4096u);
+  EXPECT_EQ(config.l1d.sets(), 128u);
+  EXPECT_EQ(config.flit_serialization(), ticks_from_ns(0.5));
+}
+
+TEST(Config, RejectsMismatchedCoreCount) {
+  SystemConfig config;
+  config.num_cores = 8;  // 4x4 mesh still has 16 nodes.
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+}
+
+TEST(Config, RejectsNonPowerOfTwoSets) {
+  SystemConfig config;
+  config.l1d.size_bytes = 48 * 1024;  // 192 sets at 4 ways: not a power of 2.
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+}
+
+TEST(Config, RejectsBadProbeFilterGeometry) {
+  SystemConfig config;
+  config.probe_filter_coverage_bytes = 96 * 1024;  // 384 sets.
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+}
+
+TEST(Config, ModeNames) {
+  EXPECT_EQ(to_string(DirectoryMode::kBaseline), "baseline");
+  EXPECT_EQ(to_string(DirectoryMode::kAllarm), "allarm");
+  EXPECT_EQ(to_string(ReplacementKind::kLru), "lru");
+}
+
+// ------------------------------------------------------------------- rng ----
+
+TEST(Rng, DeterministicForEqualSeeds) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.next() == b.next());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+}
+
+TEST(Rng, BelowCoversRange) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(3);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 200; ++i) {
+    const auto v = rng.range(5, 9);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 9u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(5);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceMatchesProbability) {
+  Rng rng(9);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.chance(0.3);
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, SplitProducesIndependentStreams) {
+  Rng parent(42);
+  Rng c1 = parent.split(1);
+  Rng c2 = parent.split(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (c1.next() == c2.next());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Zipf, SkewsTowardLowRanks) {
+  ZipfDistribution zipf(100, 1.0);
+  Rng rng(1);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[zipf(rng)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[0], 20 * counts[99] / 2);
+}
+
+TEST(Zipf, UniformWhenAlphaZero) {
+  ZipfDistribution zipf(10, 0.0);
+  Rng rng(2);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[zipf(rng)];
+  for (int c : counts) EXPECT_NEAR(c, 5000, 500);
+}
+
+TEST(Zipf, RejectsEmptySupport) {
+  EXPECT_THROW(ZipfDistribution(0, 1.0), std::invalid_argument);
+}
+
+// ----------------------------------------------------------------- stats ----
+
+TEST(StatSet, SetAddGet) {
+  StatSet s;
+  s.set("a", 2.0);
+  s.add("a", 3.0);
+  s.add("b", 1.0);
+  EXPECT_DOUBLE_EQ(s.get("a"), 5.0);
+  EXPECT_DOUBLE_EQ(s.get("b"), 1.0);
+  EXPECT_DOUBLE_EQ(s.get("missing", -1.0), -1.0);
+  EXPECT_TRUE(s.contains("a"));
+  EXPECT_FALSE(s.contains("c"));
+}
+
+TEST(StatSet, NormalizedTo) {
+  StatSet base, other;
+  base.set("x", 10.0);
+  other.set("x", 7.0);
+  EXPECT_DOUBLE_EQ(other.normalized_to(base, "x"), 0.7);
+  EXPECT_DOUBLE_EQ(other.normalized_to(base, "y"), 1.0);  // Fallback.
+}
+
+TEST(StatSet, MergeWithPrefix) {
+  StatSet a, b;
+  b.set("x", 1.0);
+  a.merge(b, "sub.");
+  EXPECT_DOUBLE_EQ(a.get("sub.x"), 1.0);
+}
+
+TEST(Stats, Geomean) {
+  EXPECT_DOUBLE_EQ(geomean({4.0, 9.0}), 6.0);
+  EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+  EXPECT_DOUBLE_EQ(geomean({2.0, 0.0}), 0.0);  // Non-positive entries.
+  EXPECT_NEAR(geomean({1.1, 1.2, 1.3}), 1.1972, 1e-3);
+}
+
+TEST(Stats, Mean) {
+  EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer-name", "2"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  EXPECT_EQ(TextTable::fmt(1.23456, 2), "1.23");
+}
+
+}  // namespace
+}  // namespace allarm

@@ -1,0 +1,74 @@
+// Unit tests for the McPAT-lite energy / area model.
+#include <gtest/gtest.h>
+
+#include "energy/model.hh"
+
+namespace allarm::energy {
+namespace {
+
+TEST(Energy, PerEventCostsArePositive) {
+  EnergyModel m(SystemConfig{});
+  EXPECT_GT(m.pf_read_pj(), 0.0);
+  EXPECT_GT(m.pf_write_pj(), m.pf_read_pj());  // Writes cost more.
+  EXPECT_GT(m.pf_eviction_pj(), m.pf_write_pj());
+  EXPECT_GT(m.noc_flit_hop_pj(), 0.0);
+  EXPECT_GT(m.dram_access_pj(), 0.0);
+}
+
+TEST(Energy, PfAccessCostGrowsWithCoverage) {
+  SystemConfig small, big;
+  small.probe_filter_coverage_bytes = 32 * 1024;
+  big.probe_filter_coverage_bytes = 512 * 1024;
+  EXPECT_LT(EnergyModel(small).pf_read_pj(), EnergyModel(big).pf_read_pj());
+}
+
+TEST(Energy, NocEnergyScalesWithFlitHops) {
+  EnergyModel m(SystemConfig{});
+  noc::NocStats a{}, b{};
+  a.flit_hops = 1000;
+  a.messages = 10;
+  b.flit_hops = 2000;
+  b.messages = 10;
+  EXPECT_LT(m.noc_energy_nj(a), m.noc_energy_nj(b));
+  EXPECT_NEAR(m.noc_energy_nj(b) / m.noc_energy_nj(a), 2.0, 0.25);
+}
+
+TEST(Energy, PfEnergyAdditive) {
+  EnergyModel m(SystemConfig{});
+  const double reads_only = m.pf_energy_nj(100, 0, 0);
+  const double with_writes = m.pf_energy_nj(100, 50, 0);
+  const double with_evictions = m.pf_energy_nj(100, 50, 10);
+  EXPECT_LT(reads_only, with_writes);
+  EXPECT_LT(with_writes, with_evictions);
+  EXPECT_DOUBLE_EQ(m.pf_energy_nj(0, 0, 0), 0.0);
+}
+
+TEST(Energy, DramEnergyLinearInAccesses) {
+  EnergyModel m(SystemConfig{});
+  EXPECT_DOUBLE_EQ(m.dram_energy_nj(200), 2 * m.dram_energy_nj(100));
+}
+
+// The area power law was fitted to the paper's McPAT table; the endpoints
+// must reproduce closely and the curve must be monotone.
+TEST(Area, MatchesPaperEndpoints) {
+  EXPECT_NEAR(EnergyModel::probe_filter_area_mm2(512 * 1024, 16), 70.89, 2.0);
+  EXPECT_NEAR(EnergyModel::probe_filter_area_mm2(32 * 1024, 16), 5.93, 0.3);
+}
+
+TEST(Area, MonotoneInCoverage) {
+  double prev = 0.0;
+  for (std::uint32_t kb : {32, 64, 128, 256, 512}) {
+    const double a = EnergyModel::probe_filter_area_mm2(kb * 1024, 16);
+    EXPECT_GT(a, prev);
+    prev = a;
+  }
+}
+
+TEST(Area, ScalesWithDirectoryCount) {
+  const double full = EnergyModel::probe_filter_area_mm2(512 * 1024, 16);
+  const double half = EnergyModel::probe_filter_area_mm2(512 * 1024, 8);
+  EXPECT_DOUBLE_EQ(half * 2, full);
+}
+
+}  // namespace
+}  // namespace allarm::energy

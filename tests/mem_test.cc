@@ -1,0 +1,70 @@
+// Unit tests for the DRAM / memory-controller model.
+#include <gtest/gtest.h>
+
+#include "common/config.hh"
+#include "mem/dram.hh"
+
+namespace allarm::mem {
+namespace {
+
+TEST(Dram, FixedLatencyWhenIdle) {
+  Dram dram(ticks_from_ns(60.0), ticks_from_ns(10.0));
+  EXPECT_EQ(dram.read(0), ticks_from_ns(60.0));
+  EXPECT_EQ(dram.access_latency(), ticks_from_ns(60.0));
+}
+
+TEST(Dram, BandwidthGapBetweenAccesses) {
+  Dram dram(ticks_from_ns(60.0), ticks_from_ns(10.0));
+  const Tick first = dram.read(0);
+  const Tick second = dram.read(0);  // Issued at the same instant.
+  EXPECT_EQ(second - first, ticks_from_ns(10.0));
+}
+
+TEST(Dram, NoQueueingWhenSpacedOut) {
+  Dram dram(ticks_from_ns(60.0), ticks_from_ns(10.0));
+  dram.read(0);
+  const Tick t = dram.read(ticks_from_ns(50.0));
+  EXPECT_EQ(t, ticks_from_ns(110.0));
+  EXPECT_EQ(dram.stats().total_queue_wait, 0u);
+}
+
+TEST(Dram, QueueWaitAccumulates) {
+  Dram dram(ticks_from_ns(60.0), ticks_from_ns(10.0));
+  dram.read(0);
+  dram.read(0);
+  dram.read(0);
+  // Second waited 10ns, third waited 20ns.
+  EXPECT_EQ(dram.stats().total_queue_wait, ticks_from_ns(30.0));
+}
+
+TEST(Dram, CountsReadsAndWrites) {
+  Dram dram(SystemConfig{});
+  dram.read(0);
+  dram.write(0);
+  dram.write(0);
+  EXPECT_EQ(dram.stats().reads, 1u);
+  EXPECT_EQ(dram.stats().writes, 2u);
+}
+
+TEST(Dram, WritesOccupyBandwidthToo) {
+  Dram dram(ticks_from_ns(60.0), ticks_from_ns(10.0));
+  dram.write(0);
+  const Tick t = dram.read(0);
+  EXPECT_EQ(t, ticks_from_ns(70.0));
+}
+
+TEST(Dram, ConfigConstructorUsesTableI) {
+  Dram dram(SystemConfig{});
+  EXPECT_EQ(dram.read(0), ticks_from_ns(60.0));
+}
+
+TEST(Dram, ResetStats) {
+  Dram dram(SystemConfig{});
+  dram.read(0);
+  dram.reset_stats();
+  EXPECT_EQ(dram.stats().reads, 0u);
+  EXPECT_EQ(dram.stats().total_queue_wait, 0u);
+}
+
+}  // namespace
+}  // namespace allarm::mem

@@ -1,0 +1,147 @@
+// Unit tests for the mesh network model.
+#include <gtest/gtest.h>
+
+#include "common/config.hh"
+#include "noc/mesh.hh"
+
+namespace allarm::noc {
+namespace {
+
+SystemConfig table1() { return SystemConfig{}; }
+
+TEST(Mesh, Geometry) {
+  Mesh mesh(table1());
+  EXPECT_EQ(mesh.num_nodes(), 16u);
+  EXPECT_EQ(mesh.width(), 4u);
+  EXPECT_EQ(mesh.height(), 4u);
+}
+
+TEST(Mesh, ManhattanHops) {
+  Mesh mesh(table1());
+  EXPECT_EQ(mesh.hops(0, 0), 0u);
+  EXPECT_EQ(mesh.hops(0, 3), 3u);    // Same row.
+  EXPECT_EQ(mesh.hops(0, 12), 3u);   // Same column.
+  EXPECT_EQ(mesh.hops(0, 15), 6u);   // Opposite corner.
+  EXPECT_EQ(mesh.hops(5, 10), 2u);
+  EXPECT_EQ(mesh.hops(10, 5), 2u);   // Symmetric.
+}
+
+TEST(Mesh, LocalDeliveryBypassesTheMesh) {
+  SystemConfig config = table1();
+  Mesh mesh(config);
+  const Tick arrival = mesh.send(3, 3, 72, 1000, TrafficCause::kResponse);
+  EXPECT_EQ(arrival, 1000 + config.local_hop_latency);
+  EXPECT_EQ(mesh.stats().messages, 0u);
+  EXPECT_EQ(mesh.stats().bytes, 0u);
+  EXPECT_EQ(mesh.stats().local_messages, 1u);
+}
+
+TEST(Mesh, UncontendedLatencyFormula) {
+  SystemConfig config = table1();
+  Mesh mesh(config);
+  // 8-byte control = 2 flits; 1 hop; router + (serialization + link + router).
+  const Tick expected = config.router_latency +
+                        (2 * config.flit_serialization() +
+                         config.link_latency + config.router_latency);
+  EXPECT_EQ(mesh.uncontended_latency(0, 1, 8), expected);
+  // Matches the stateful path when idle.
+  EXPECT_EQ(mesh.send(0, 1, 8, 0, TrafficCause::kRequest), expected);
+}
+
+TEST(Mesh, LatencyScalesWithDistance) {
+  Mesh mesh(table1());
+  const Tick near = mesh.uncontended_latency(0, 1, 8);
+  const Tick far = mesh.uncontended_latency(0, 15, 8);
+  EXPECT_GT(far, near);
+  // 6 hops vs 1 hop: per-hop cost is identical.
+  EXPECT_EQ(far - mesh.uncontended_latency(0, 0, 8),
+            6 * (near - mesh.uncontended_latency(0, 0, 8)));
+}
+
+TEST(Mesh, DataMessagesSerializeLonger) {
+  Mesh mesh(table1());
+  EXPECT_GT(mesh.uncontended_latency(0, 1, 72),
+            mesh.uncontended_latency(0, 1, 8));
+}
+
+TEST(Mesh, ContentionDelaysSecondMessage) {
+  SystemConfig config = table1();
+  Mesh mesh(config);
+  const Tick first = mesh.send(0, 1, 72, 0, TrafficCause::kResponse);
+  const Tick second = mesh.send(0, 1, 72, 0, TrafficCause::kResponse);
+  EXPECT_GT(second, first);
+  // The second message queues behind 18 flits of serialization.
+  EXPECT_EQ(second - first, 18 * config.flit_serialization());
+}
+
+TEST(Mesh, FifoPerRouteEvenWithMixedSizes) {
+  Mesh mesh(table1());
+  // A big message sent first arrives before a small one sent just after.
+  const Tick big = mesh.send(0, 15, 72, 0, TrafficCause::kResponse);
+  const Tick small = mesh.send(0, 15, 8, 1, TrafficCause::kRequest);
+  EXPECT_LT(big, small);
+}
+
+TEST(Mesh, DisjointRoutesDoNotInterfere) {
+  Mesh mesh(table1());
+  const Tick a = mesh.send(0, 1, 72, 0, TrafficCause::kResponse);
+  const Tick b = mesh.send(4, 5, 72, 0, TrafficCause::kResponse);
+  EXPECT_EQ(a, b);  // Same shape, different links.
+}
+
+TEST(Mesh, ByteAndMessageAccounting) {
+  Mesh mesh(table1());
+  mesh.send(0, 1, 8, 0, TrafficCause::kRequest);
+  mesh.send(0, 2, 72, 0, TrafficCause::kResponse);
+  const NocStats& s = mesh.stats();
+  EXPECT_EQ(s.messages, 2u);
+  EXPECT_EQ(s.control_messages, 1u);
+  EXPECT_EQ(s.data_messages, 1u);
+  EXPECT_EQ(s.bytes, 80u);
+  EXPECT_EQ(s.bytes_by_cause[static_cast<int>(TrafficCause::kRequest)], 8u);
+  EXPECT_EQ(s.bytes_by_cause[static_cast<int>(TrafficCause::kResponse)], 72u);
+  // flit-hops: 2 flits x 1 hop + 18 flits x 2 hops.
+  EXPECT_EQ(s.flit_hops, 2u + 36u);
+}
+
+TEST(Mesh, ResetStatsClears) {
+  Mesh mesh(table1());
+  mesh.send(0, 5, 72, 0, TrafficCause::kProbe);
+  mesh.reset_stats();
+  EXPECT_EQ(mesh.stats().messages, 0u);
+  EXPECT_EQ(mesh.stats().bytes, 0u);
+  EXPECT_EQ(mesh.max_link_busy_time(), 0u);
+}
+
+TEST(Mesh, TracksLinkBusyTime) {
+  SystemConfig config = table1();
+  Mesh mesh(config);
+  mesh.send(0, 1, 72, 0, TrafficCause::kResponse);
+  EXPECT_EQ(mesh.max_link_busy_time(), 18 * config.flit_serialization());
+}
+
+TEST(Mesh, RejectsBadNodeIds) {
+  Mesh mesh(table1());
+  EXPECT_THROW(mesh.send(0, 99, 8, 0, TrafficCause::kRequest),
+               std::out_of_range);
+}
+
+TEST(Mesh, CauseNames) {
+  EXPECT_EQ(to_string(TrafficCause::kEviction), "eviction");
+  EXPECT_EQ(to_string(TrafficCause::kWriteback), "writeback");
+}
+
+// XY routing determinism: request and reply take (possibly different) fixed
+// routes; latency must be reproducible.
+TEST(Mesh, DeterministicTiming) {
+  Mesh a(table1()), b(table1());
+  for (int i = 0; i < 100; ++i) {
+    const NodeId src = static_cast<NodeId>(i % 16);
+    const NodeId dst = static_cast<NodeId>((i * 7) % 16);
+    EXPECT_EQ(a.send(src, dst, 72, i * 10, TrafficCause::kResponse),
+              b.send(src, dst, 72, i * 10, TrafficCause::kResponse));
+  }
+}
+
+}  // namespace
+}  // namespace allarm::noc

@@ -1,0 +1,124 @@
+// Unit tests for the discrete-event kernel.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace allarm::sim {
+namespace {
+
+TEST(EventQueue, StartsAtTimeZero) {
+  EventQueue eq;
+  EXPECT_EQ(eq.now(), 0u);
+  EXPECT_EQ(eq.pending(), 0u);
+}
+
+TEST(EventQueue, ExecutesInTimeOrder) {
+  EventQueue eq;
+  std::vector<int> order;
+  eq.schedule_at(30, [&] { order.push_back(3); });
+  eq.schedule_at(10, [&] { order.push_back(1); });
+  eq.schedule_at(20, [&] { order.push_back(2); });
+  eq.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, SameTickIsFifo) {
+  EventQueue eq;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    eq.schedule_at(5, [&order, i] { order.push_back(i); });
+  }
+  eq.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents) {
+  EventQueue eq;
+  int fired = 0;
+  eq.schedule_at(1, [&] {
+    ++fired;
+    eq.schedule_in(4, [&] { ++fired; });
+  });
+  eq.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(eq.now(), 5u);
+}
+
+TEST(EventQueue, RejectsSchedulingIntoThePast) {
+  EventQueue eq;
+  eq.schedule_at(10, [] {});
+  eq.run();
+  EXPECT_THROW(eq.schedule_at(5, [] {}), std::logic_error);
+}
+
+TEST(EventQueue, RunOneReturnsFalseWhenEmpty) {
+  EventQueue eq;
+  EXPECT_FALSE(eq.run_one());
+  eq.schedule_at(1, [] {});
+  EXPECT_TRUE(eq.run_one());
+  EXPECT_FALSE(eq.run_one());
+}
+
+TEST(EventQueue, RunHonoursEventBudget) {
+  EventQueue eq;
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) eq.schedule_at(i, [&] { ++fired; });
+  EXPECT_EQ(eq.run(4), 4u);
+  EXPECT_EQ(fired, 4);
+  EXPECT_EQ(eq.pending(), 6u);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundaryInclusive) {
+  EventQueue eq;
+  std::vector<Tick> fired;
+  for (Tick t : {5u, 10u, 15u}) {
+    eq.schedule_at(t, [&fired, &eq] { fired.push_back(eq.now()); });
+  }
+  eq.run_until(10);
+  EXPECT_EQ(fired, (std::vector<Tick>{5, 10}));
+  EXPECT_EQ(eq.now(), 10u);
+  eq.run();
+  EXPECT_EQ(fired.back(), 15u);
+}
+
+TEST(EventQueue, RunUntilAdvancesClockWhenIdle) {
+  EventQueue eq;
+  eq.run_until(100);
+  EXPECT_EQ(eq.now(), 100u);
+}
+
+TEST(EventQueue, ClearDiscardsPending) {
+  EventQueue eq;
+  int fired = 0;
+  eq.schedule_at(1, [&] { ++fired; });
+  eq.clear();
+  eq.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(EventQueue, CountsExecutedEvents) {
+  EventQueue eq;
+  for (int i = 0; i < 7; ++i) eq.schedule_at(i, [] {});
+  eq.run();
+  EXPECT_EQ(eq.events_executed(), 7u);
+}
+
+TEST(EventQueue, LargeVolumeKeepsOrder) {
+  EventQueue eq;
+  Tick last = 0;
+  bool monotone = true;
+  for (int i = 0; i < 20000; ++i) {
+    eq.schedule_at(static_cast<Tick>((i * 7919) % 1000), [&, i] {
+      monotone = monotone && eq.now() >= last;
+      last = eq.now();
+    });
+  }
+  eq.run();
+  EXPECT_TRUE(monotone);
+}
+
+}  // namespace
+}  // namespace allarm::sim

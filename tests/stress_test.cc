@@ -1,0 +1,217 @@
+// Stress tests: contention storms, writeback-buffer churn, broadcast
+// invalidation fan-out, alternate mesh geometries - the protocol paths
+// that only misbehave under pressure.
+#include <gtest/gtest.h>
+
+#include "coherence/directory.hh"
+#include "test_util.hh"
+
+namespace allarm {
+namespace {
+
+using test::load;
+using test::make_scripted;
+using test::priv;
+using test::run_scripted;
+using test::ScriptThread;
+using test::small_config;
+using test::store;
+
+TEST(Stress, SixteenWritersOneLine) {
+  // Every core hammers the same line with stores: transactions serialize at
+  // the home directory, ownership migrates 16 x 40 times, and exactly one
+  // M copy may survive.
+  std::vector<ScriptThread> threads;
+  for (NodeId n = 0; n < 16; ++n) {
+    std::vector<workload::Access> script(40, store(priv(20, 0)));
+    threads.push_back({n, std::move(script), ticks_from_ns(1.0) * n, 0});
+  }
+  for (auto mode : {DirectoryMode::kBaseline, DirectoryMode::kAllarm}) {
+    auto ran = run_scripted(small_config(), mode,
+                            make_scripted(threads), 7);
+    const LineAddr line =
+        line_of(*ran.system->os().translate(0, priv(20, 0)));
+    int holders = 0;
+    for (NodeId n = 0; n < 16; ++n) {
+      holders += ran.system->cache(n).hierarchy().locate(line).present();
+    }
+    EXPECT_EQ(holders, 1);
+    EXPECT_GT(ran.result.stats.get("dir.queued_ops"), 0.0);
+    EXPECT_EQ(ran.result.stats.get("sanity.anomalies"), 0.0);
+  }
+}
+
+TEST(Stress, ReadersThenWriterBroadcast) {
+  // 15 cores read a line (unknown sharer set under Hammer), then one core
+  // writes: the broadcast invalidation must reach every copy.
+  std::vector<ScriptThread> threads;
+  for (NodeId n = 0; n < 15; ++n) {
+    threads.push_back({n, {load(priv(21, 0))}, ticks_from_ns(2.0) * n, 0});
+  }
+  threads.push_back(
+      {15, {store(priv(21, 0))}, ticks_from_ns(5000.0), 0});
+  auto ran = run_scripted(small_config(), DirectoryMode::kBaseline,
+                          make_scripted(threads), 7);
+  const LineAddr line = line_of(*ran.system->os().translate(0, priv(21, 0)));
+  for (NodeId n = 0; n < 15; ++n) {
+    EXPECT_FALSE(ran.system->cache(n).hierarchy().locate(line).present())
+        << "sharer " << n << " survived the broadcast";
+  }
+  EXPECT_EQ(ran.system->cache(15).hierarchy().locate(line).state,
+            cache::LineState::kModified);
+}
+
+TEST(Stress, WritebackBufferChurn) {
+  // A tiny cache and a working set that wraps through it repeatedly:
+  // every reuse finds the line recently evicted, exercising the
+  // writeback-buffer wait-and-retry path.
+  SystemConfig config = small_config();
+  std::vector<workload::Access> script;
+  for (int rep = 0; rep < 30; ++rep) {
+    for (std::uint32_t i = 0; i < 40; ++i) {
+      script.push_back(store(priv(0, i)));
+    }
+  }
+  auto ran = run_scripted(config, DirectoryMode::kBaseline,
+                          make_scripted({{0, script}}), 7);
+  EXPECT_GT(ran.system->cache(0).stats().puts_dirty, 0u);
+  EXPECT_EQ(ran.result.stats.get("sanity.wbb_collisions"), 0.0);
+  EXPECT_EQ(ran.result.stats.get("sanity.puts_stale"), 0.0);
+}
+
+TEST(Stress, PingPongProducerConsumer) {
+  // Two cores alternate store/load on the same line: ownership ping-pongs
+  // through the Owned state (dirty sharing) without ever writing back
+  // stale data paths.
+  std::vector<workload::Access> ping, pong;
+  for (int i = 0; i < 60; ++i) {
+    ping.push_back(store(priv(22, 0)));
+    pong.push_back(load(priv(22, 0)));
+  }
+  auto spec = make_scripted({
+      {3, ping, 0, 0},
+      {12, pong, ticks_from_ns(40.0), 0},
+  });
+  for (auto mode : {DirectoryMode::kBaseline, DirectoryMode::kAllarm}) {
+    auto ran = run_scripted(small_config(), mode, spec, 7);
+    EXPECT_EQ(ran.result.stats.get("sanity.anomalies"), 0.0);
+    EXPECT_EQ(ran.result.stats.get("sanity.upgrade_without_line"), 0.0);
+  }
+}
+
+TEST(Stress, HotspotDirectory) {
+  // All 16 cores stream over data homed at node 0 (the blackscholes
+  // pattern): node 0's directory serializes per line but handles disjoint
+  // lines concurrently, and the mesh links toward node 0 carry the load.
+  std::vector<ScriptThread> threads;
+  for (NodeId n = 0; n < 16; ++n) {
+    std::vector<workload::Access> script;
+    for (std::uint32_t i = 0; i < 80; ++i) {
+      script.push_back(load(priv(23, (n * 80 + i) % 512)));
+    }
+    threads.push_back({n, std::move(script), ticks_from_ns(1.0) * n, 0});
+  }
+  SystemConfig config = small_config();
+  config.directory_mode = DirectoryMode::kBaseline;
+  core::System system(config);
+  // Home every page of region 23 at node 0 up front.
+  for (Addr a = priv(23, 0); a < priv(23, 512); a += kPageBytes) {
+    system.os().touch(0, a, 0);
+  }
+  core::RunOptions options;
+  options.seed = 7;
+  const auto r = system.run(make_scripted(std::move(threads)), options);
+  EXPECT_GT(system.directory(0).stats().remote_requests, 0u);
+  EXPECT_GT(system.mesh().max_link_busy_time(), 0u);
+  EXPECT_EQ(r.stats.get("sanity.anomalies"), 0.0);
+}
+
+TEST(Stress, AlternateMeshGeometry) {
+  // An 8x2 mesh with 16 cores: routing, homes and the protocol must work
+  // for non-square layouts.
+  SystemConfig config;
+  config.mesh_width = 8;
+  config.mesh_height = 2;
+  config.directory_mode = DirectoryMode::kAllarm;
+  std::vector<ScriptThread> threads;
+  for (NodeId n = 0; n < 16; ++n) {
+    std::vector<workload::Access> script;
+    for (std::uint32_t i = 0; i < 50; ++i) {
+      script.push_back(i % 4 == 0 ? store(priv(n, i)) : load(priv(n, i)));
+    }
+    threads.push_back({n, std::move(script), ticks_from_ns(1.0) * n, 0});
+  }
+  auto ran = run_scripted(config, DirectoryMode::kAllarm,
+                          make_scripted(std::move(threads)), 7);
+  EXPECT_GT(ran.result.stats.get("dir.local_no_alloc"), 0.0);
+  EXPECT_EQ(ran.result.stats.get("sanity.anomalies"), 0.0);
+}
+
+TEST(Stress, FourNodeMesh) {
+  SystemConfig config;
+  config.mesh_width = 2;
+  config.mesh_height = 2;
+  config.num_cores = 4;
+  config.dram_total_bytes = 512ull * 1024 * 1024;
+  std::vector<ScriptThread> threads;
+  for (NodeId n = 0; n < 4; ++n) {
+    std::vector<workload::Access> script;
+    for (std::uint32_t i = 0; i < 100; ++i) {
+      script.push_back(load(priv(30, i)));  // Everybody shares region 30.
+    }
+    threads.push_back({n, std::move(script), ticks_from_ns(1.0) * n, 0});
+  }
+  auto ran = run_scripted(config, DirectoryMode::kBaseline,
+                          make_scripted(std::move(threads)), 7);
+  EXPECT_EQ(ran.result.stats.get("sanity.anomalies"), 0.0);
+}
+
+TEST(Stress, TinyDirectoryUnderSharingStorm) {
+  // A 1-set probe filter with 16 cores sharing 12 colliding lines: the
+  // victim-pinning path (all ways busy) and eviction broadcasts fire
+  // constantly; the run must stay sound.
+  SystemConfig config = small_config();
+  config.probe_filter_coverage_bytes = 4 * kLineBytes;  // 1 set x 4 ways.
+  std::vector<ScriptThread> threads;
+  Rng rng(99);
+  for (NodeId n = 0; n < 16; ++n) {
+    std::vector<workload::Access> script;
+    for (int i = 0; i < 120; ++i) {
+      // Twelve lines in ONE page: a single home directory whose one-set
+      // filter cannot hold them all.
+      const auto line = static_cast<std::uint32_t>(rng.below(12));
+      script.push_back(rng.chance(0.3) ? store(priv(24, line))
+                                       : load(priv(24, line)));
+    }
+    threads.push_back({n, std::move(script), ticks_from_ns(1.0) * n, 0});
+  }
+  for (auto mode : {DirectoryMode::kBaseline, DirectoryMode::kAllarm}) {
+    auto ran = run_scripted(config, mode, make_scripted(threads), 7);
+    EXPECT_GT(ran.result.stats.get("dir.pf_evictions"), 0.0);
+    EXPECT_EQ(ran.result.stats.get("sanity.anomalies"), 0.0);
+    EXPECT_EQ(ran.result.stats.get("sanity.upgrade_without_line"), 0.0);
+  }
+}
+
+TEST(Stress, MixedInstructionAndDataSharing) {
+  // Instruction fetches of shared code plus data writes to nearby lines.
+  std::vector<ScriptThread> threads;
+  for (NodeId n = 0; n < 8; ++n) {
+    std::vector<workload::Access> script;
+    for (std::uint32_t i = 0; i < 60; ++i) {
+      if (i % 3 == 0) {
+        script.push_back({priv(25, i % 16), AccessType::kInstFetch});
+      } else {
+        script.push_back(store(priv(26 + n, i)));
+      }
+    }
+    threads.push_back({n, std::move(script), ticks_from_ns(1.0) * n, 0});
+  }
+  auto ran = run_scripted(small_config(), DirectoryMode::kAllarm,
+                          make_scripted(std::move(threads)), 7);
+  EXPECT_GT(ran.result.stats.get("cache.ifetches"), 0.0);
+  EXPECT_EQ(ran.result.stats.get("sanity.anomalies"), 0.0);
+}
+
+}  // namespace
+}  // namespace allarm

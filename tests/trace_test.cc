@@ -1,0 +1,120 @@
+// Unit and integration tests for trace-file workloads.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/experiment.hh"
+#include "workload/trace.hh"
+
+namespace allarm::workload {
+namespace {
+
+TEST(TraceParse, ParsesWellFormedLines) {
+  std::istringstream in(
+      "# a comment\n"
+      "0 L 40000000\n"
+      "1 S 40000040\n"
+      "\n"
+      "0 I deadbeef  # trailing comment\n");
+  const auto records = parse_trace(in);
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].thread, 0u);
+  EXPECT_EQ(records[0].access.type, AccessType::kLoad);
+  EXPECT_EQ(records[0].access.vaddr, 0x40000000u);
+  EXPECT_EQ(records[1].access.type, AccessType::kStore);
+  EXPECT_EQ(records[2].access.type, AccessType::kInstFetch);
+  EXPECT_EQ(records[2].access.vaddr, 0xdeadbeefu);
+}
+
+TEST(TraceParse, AcceptsLowercaseTypes) {
+  std::istringstream in("0 l 10\n0 s 20\n0 i 30\n");
+  EXPECT_EQ(parse_trace(in).size(), 3u);
+}
+
+TEST(TraceParse, RejectsMalformedLines) {
+  std::istringstream bad_type("0 X 40000000\n");
+  EXPECT_THROW(parse_trace(bad_type), std::runtime_error);
+  std::istringstream missing("0 L\n");
+  EXPECT_THROW(parse_trace(missing), std::runtime_error);
+  std::istringstream bad_addr("0 L zzz\n");
+  EXPECT_THROW(parse_trace(bad_addr), std::runtime_error);
+}
+
+TEST(TraceParse, RoundTripsThroughWriter) {
+  std::istringstream in("0 L 1000\n3 S 2fc0\n0 I 3000\n");
+  const auto records = parse_trace(in);
+  std::ostringstream out;
+  write_trace(out, records);
+  std::istringstream again(out.str());
+  const auto reparsed = parse_trace(again);
+  ASSERT_EQ(reparsed.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(reparsed[i].thread, records[i].thread);
+    EXPECT_EQ(reparsed[i].access.vaddr, records[i].access.vaddr);
+    EXPECT_EQ(reparsed[i].access.type, records[i].access.type);
+  }
+}
+
+TEST(TraceWorkload, BuildsOneThreadPerId) {
+  std::istringstream in(
+      "0 L 40000000\n"
+      "2 L 80000000\n"
+      "0 S 40000040\n");
+  SystemConfig config;
+  const auto spec = make_trace_workload(parse_trace(in), config);
+  ASSERT_EQ(spec.threads.size(), 2u);
+  EXPECT_EQ(spec.threads[0].accesses, 2u);
+  EXPECT_EQ(spec.threads[1].accesses, 1u);
+  EXPECT_EQ(spec.threads[1].node, 2);
+}
+
+TEST(TraceWorkload, RejectsEmptyTrace) {
+  SystemConfig config;
+  EXPECT_THROW(make_trace_workload({}, config), std::invalid_argument);
+}
+
+TEST(TraceWorkload, WrapsThreadIdsOntoCores) {
+  std::istringstream in("20 L 1000\n");
+  SystemConfig config;
+  const auto spec = make_trace_workload(parse_trace(in), config);
+  EXPECT_EQ(spec.threads[0].node, 20 % 16);
+}
+
+TEST(TraceWorkload, RunsEndToEndUnderBothModes) {
+  // A private stream per thread plus one shared line they fight over.
+  std::ostringstream trace;
+  for (int t = 0; t < 4; ++t) {
+    for (int i = 0; i < 50; ++i) {
+      trace << t << " " << (i % 3 == 0 ? 'S' : 'L') << " "
+            << std::hex << (0x40000000ull * (t + 1) + i * 64) << std::dec
+            << "\n";
+      trace << t << " S " << std::hex << 0x7000000000ull << std::dec << "\n";
+    }
+  }
+  SystemConfig config;
+  std::istringstream in(trace.str());
+  const auto spec = make_trace_workload(parse_trace(in), config);
+  for (auto mode : {DirectoryMode::kBaseline, DirectoryMode::kAllarm}) {
+    const auto r = core::run_single(config, mode, spec, 3);
+    EXPECT_GT(r.runtime, 0u);
+    EXPECT_EQ(r.stats.get("sanity.upgrade_without_line"), 0.0);
+    EXPECT_EQ(r.stats.get("sanity.wbb_collisions"), 0.0);
+  }
+}
+
+TEST(TraceWorkload, AllarmStillSkipsLocalAllocations) {
+  std::ostringstream trace;
+  for (int i = 0; i < 100; ++i) {
+    trace << "0 L " << std::hex << (0x40000000ull + i * 64) << std::dec
+          << "\n";
+  }
+  SystemConfig config;
+  std::istringstream in(trace.str());
+  const auto spec = make_trace_workload(parse_trace(in), config);
+  const auto r = core::run_single(config, DirectoryMode::kAllarm, spec, 3);
+  EXPECT_EQ(r.stats.get("pf.inserts"), 0.0);
+  EXPECT_EQ(r.stats.get("dir.local_no_alloc"), 100.0);
+}
+
+}  // namespace
+}  // namespace allarm::workload
