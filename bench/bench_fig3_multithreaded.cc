@@ -4,32 +4,46 @@
 //   3c normalized NoC traffic      3d average messages per PF eviction
 //   3e normalized L2 misses        3f normalized dynamic energy (NoC, PF)
 //   3g fraction of remote misses with the local probe off the critical path
+//
+// The full grid (benchmarks x {baseline, allarm}) runs up front on the
+// sweep runner, sharded across ALLARM_JOBS workers (default: all cores);
+// the per-figure counters then read from the finished sweep.
 #include <benchmark/benchmark.h>
 
 #include <iostream>
 
 #include "bench_util.hh"
+#include "runner/sweep.hh"
 
 namespace {
 
 using namespace allarm;
 
-bench::PairCache& cache() {
-  static bench::PairCache c;
-  return c;
-}
-
 std::uint64_t accesses() { return core::bench_accesses(30000); }
 
-core::PairResult& pair_for(const std::string& name) {
-  SystemConfig config;
-  const auto spec = workload::make_benchmark(name, config, accesses());
-  return cache().run(name, config, spec);
+const runner::SweepResult& sweep() {
+  static const runner::SweepResult result = [] {
+    runner::SweepSpec spec;
+    spec.name = "fig3";
+    spec.workloads = workload::benchmark_names();
+    spec.configs = {{"table1", SystemConfig{}}};
+    spec.modes = {DirectoryMode::kBaseline, DirectoryMode::kAllarm};
+    spec.accesses_per_thread = accesses();
+    const runner::SweepRunner sweep_runner(core::bench_jobs());
+    std::cerr << "fig3: " << spec.job_count() << " simulations on "
+              << sweep_runner.jobs() << " workers\n";
+    return sweep_runner.run(spec);
+  }();
+  return result;
+}
+
+core::PairResult pair_for(const std::string& name) {
+  return sweep().pair(name, "table1");
 }
 
 void BM_Fig3(benchmark::State& state, const std::string& name) {
   for (auto _ : state) {
-    auto& pair = pair_for(name);
+    const auto pair = pair_for(name);
     state.counters["speedup"] = pair.speedup();
     state.counters["norm_evictions"] = pair.normalized("dir.pf_evictions");
     state.counters["norm_traffic"] = pair.normalized("noc.bytes");
@@ -52,7 +66,7 @@ void print_figures() {
 
   std::vector<double> speedups, evictions, traffic, misses, e_noc, e_pf;
   for (const auto& name : names) {
-    auto& pair = cache().at(name);
+    const auto pair = pair_for(name);
     speedups.push_back(pair.speedup());
     evictions.push_back(pair.normalized("dir.pf_evictions"));
     traffic.push_back(pair.normalized("noc.bytes"));

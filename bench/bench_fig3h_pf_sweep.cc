@@ -5,11 +5,18 @@
 // loses directory capacity); most others hold; barnes and ocean-contiguous
 // stay at or above baseline even at 128kB, i.e. ALLARM enables a 4x smaller
 // directory for such workloads.
+//
+// The (benchmark x probe-filter size x mode) grid runs up front on the
+// sweep runner across ALLARM_JOBS workers; every cell replays the same
+// per-benchmark access stream (seeds are config- and mode-blind), so the
+// normalization is apples to apples.
 #include <benchmark/benchmark.h>
 
 #include <iostream>
+#include <stdexcept>
 
 #include "bench_util.hh"
+#include "runner/sweep.hh"
 
 namespace {
 
@@ -17,33 +24,47 @@ using namespace allarm;
 
 const std::vector<std::uint32_t> kSizesKb{512, 256, 128};
 
-bench::PairCache& cache() {
-  static bench::PairCache c;
-  return c;
-}
-
 std::uint64_t accesses() { return core::bench_accesses(20000); }
 
-std::string key(const std::string& name, std::uint32_t kb, bool allarm) {
-  return name + "/" + std::to_string(kb) + (allarm ? "/allarm" : "/base");
+std::string label(std::uint32_t kb) { return std::to_string(kb) + "kB"; }
+
+const runner::SweepResult& sweep() {
+  static const runner::SweepResult result = [] {
+    runner::SweepSpec spec;
+    spec.name = "fig3h";
+    spec.workloads = workload::benchmark_names();
+    for (const std::uint32_t kb : kSizesKb) {
+      SystemConfig config;
+      config.probe_filter_coverage_bytes = kb * 1024;
+      spec.configs.push_back({label(kb), config});
+    }
+    spec.modes = {DirectoryMode::kBaseline, DirectoryMode::kAllarm};
+    spec.accesses_per_thread = accesses();
+    const runner::SweepRunner sweep_runner(core::bench_jobs());
+    std::cerr << "fig3h: " << spec.job_count() << " simulations on "
+              << sweep_runner.jobs() << " workers\n";
+    return sweep_runner.run(spec);
+  }();
+  return result;
 }
 
-core::RunResult& run_one(const std::string& name, std::uint32_t kb,
-                         DirectoryMode mode) {
-  SystemConfig config;
-  config.probe_filter_coverage_bytes = kb * 1024;
-  const auto spec = workload::make_benchmark(name, config, accesses());
-  return cache().run_single(key(name, kb, mode == DirectoryMode::kAllarm),
-                            config, mode, spec);
+Tick runtime_of(const std::string& name, std::uint32_t kb,
+                DirectoryMode mode) {
+  const runner::CellResult* cell = sweep().find(name, label(kb), mode);
+  if (cell == nullptr) {
+    throw std::out_of_range("fig3h sweep has no cell " + name + "/" +
+                            label(kb) + "/" + to_string(mode));
+  }
+  return cell->runs.at(0).runtime;
 }
 
 void BM_Sweep(benchmark::State& state, const std::string& name,
               std::uint32_t kb) {
   for (auto _ : state) {
-    auto& base512 = run_one(name, 512, DirectoryMode::kBaseline);
-    auto& allarm = run_one(name, kb, DirectoryMode::kAllarm);
+    const auto base512 = runtime_of(name, 512, DirectoryMode::kBaseline);
+    const auto allarm = runtime_of(name, kb, DirectoryMode::kAllarm);
     state.counters["speedup_vs_base512"] =
-        static_cast<double>(base512.runtime) / allarm.runtime;
+        static_cast<double>(base512) / allarm;
   }
 }
 
@@ -51,11 +72,11 @@ void print_figure() {
   TextTable t({"benchmark", "512kB", "256kB", "128kB"});
   for (const auto& name : workload::benchmark_names()) {
     std::vector<std::string> row{name};
-    const double base =
-        static_cast<double>(cache().single_at(key(name, 512, false)).runtime);
+    const double base = static_cast<double>(
+        runtime_of(name, 512, DirectoryMode::kBaseline));
     for (const std::uint32_t kb : kSizesKb) {
       row.push_back(TextTable::fmt(
-          base / cache().single_at(key(name, kb, true)).runtime, 3));
+          base / runtime_of(name, kb, DirectoryMode::kAllarm), 3));
     }
     t.add_row(row);
   }

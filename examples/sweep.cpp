@@ -1,0 +1,171 @@
+// sweep: parallel grid driver for the paper's figure experiments.
+//
+//   sweep --grid NAME [options]
+//
+//   --grid NAME          which grid to run (see --list):
+//                          fig3    benchmarks x Table-I machine x {baseline, allarm}
+//                          fig3h   benchmarks x {512,256,128} kB probe filter
+//                                  x {baseline, allarm}
+//                          policy  benchmarks x {first-touch, interleave}
+//                                  x {baseline, allarm}
+//                          quick   two benchmarks, shortened runs (smoke test)
+//   --jobs N             worker threads (default: ALLARM_JOBS, else all cores)
+//   --seeds K            replicates per cell, seeded per grid coordinates
+//                        (default 1)
+//   --accesses N         ROI accesses per thread (default per grid, or the
+//                        ALLARM_BENCH_ACCESSES environment variable)
+//   --seed N             base seed (default 42)
+//   --out FILE           write the JSON report here (default: stdout)
+//   --csv FILE           also write a long-format CSV report
+//   --list               list available grids and exit
+//
+// Reports contain no execution metadata: the same grid, seeds and accesses
+// produce byte-identical output at any --jobs setting.
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "core/experiment.hh"
+#include "runner/report.hh"
+#include "runner/sweep.hh"
+#include "workload/profiles.hh"
+
+namespace {
+
+using namespace allarm;
+
+struct Options {
+  std::string grid;
+  std::uint32_t jobs = 0;  // 0 = ALLARM_JOBS / hardware concurrency.
+  std::uint32_t seeds = 1;
+  std::uint64_t accesses = 0;  // 0 = grid default.
+  std::uint64_t seed = 42;
+  std::string out;
+  std::string csv;
+};
+
+[[noreturn]] void usage(int code) {
+  std::cout <<
+      "usage: sweep --grid fig3|fig3h|policy|quick [--jobs N] [--seeds K]\n"
+      "             [--accesses N] [--seed N] [--out FILE] [--csv FILE] [--list]\n";
+  std::exit(code);
+}
+
+void list_grids() {
+  std::cout
+      << "fig3    all benchmarks x Table-I machine x {baseline, allarm}\n"
+      << "fig3h   all benchmarks x {512, 256, 128} kB probe filter x modes\n"
+      << "policy  all benchmarks x {first-touch, interleave} x modes\n"
+      << "quick   barnes + ocean-cont, shortened runs (smoke test)\n";
+}
+
+runner::SweepSpec make_grid(const Options& options) {
+  runner::SweepSpec spec;
+  spec.name = options.grid;
+  spec.workloads = workload::benchmark_names();
+  spec.modes = {DirectoryMode::kBaseline, DirectoryMode::kAllarm};
+  spec.replicates = options.seeds;
+  spec.base_seed = options.seed;
+
+  SystemConfig config;
+  if (options.grid == "fig3") {
+    spec.accesses_per_thread = core::bench_accesses(30000);
+    spec.configs = {{"table1", config}};
+  } else if (options.grid == "fig3h") {
+    spec.accesses_per_thread = core::bench_accesses(20000);
+    for (const std::uint32_t kb : {512u, 256u, 128u}) {
+      SystemConfig c = config;
+      c.probe_filter_coverage_bytes = kb * 1024;
+      spec.configs.push_back({std::to_string(kb) + "kB", c});
+    }
+  } else if (options.grid == "policy") {
+    spec.accesses_per_thread = core::bench_accesses(20000);
+    spec.configs = {{"first-touch", config, numa::AllocPolicy::kFirstTouch},
+                    {"interleave", config, numa::AllocPolicy::kInterleave}};
+  } else if (options.grid == "quick") {
+    spec.accesses_per_thread = core::bench_accesses(2000);
+    spec.workloads = {"barnes", "ocean-cont"};
+    spec.configs = {{"table1", config}};
+  } else {
+    std::cerr << "unknown grid '" << options.grid << "'\n";
+    usage(2);
+  }
+  if (options.accesses > 0) spec.accesses_per_thread = options.accesses;
+  return spec;
+}
+
+Options parse(int argc, char** argv) {
+  Options options;
+  auto value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) usage(2);
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--grid") == 0) {
+      options.grid = value(i);
+    } else if (std::strcmp(arg, "--jobs") == 0) {
+      options.jobs = static_cast<std::uint32_t>(std::strtoul(value(i), nullptr, 10));
+    } else if (std::strcmp(arg, "--seeds") == 0) {
+      options.seeds = static_cast<std::uint32_t>(std::strtoul(value(i), nullptr, 10));
+    } else if (std::strcmp(arg, "--accesses") == 0) {
+      options.accesses = std::strtoull(value(i), nullptr, 10);
+    } else if (std::strcmp(arg, "--seed") == 0) {
+      options.seed = std::strtoull(value(i), nullptr, 10);
+    } else if (std::strcmp(arg, "--out") == 0) {
+      options.out = value(i);
+    } else if (std::strcmp(arg, "--csv") == 0) {
+      options.csv = value(i);
+    } else if (std::strcmp(arg, "--list") == 0) {
+      list_grids();
+      std::exit(0);
+    } else if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      usage(0);
+    } else {
+      std::cerr << "unknown option '" << arg << "'\n";
+      usage(2);
+    }
+  }
+  if (options.grid.empty()) {
+    std::cerr << "--grid is required\n";
+    usage(2);
+  }
+  if (options.seeds == 0) {
+    std::cerr << "--seeds must be positive\n";
+    usage(2);
+  }
+  return options;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  const Options options = parse(argc, argv);
+  const runner::SweepSpec spec = make_grid(options);
+  const runner::SweepRunner sweep_runner(options.jobs);
+
+  std::cerr << "sweep '" << spec.name << "': " << spec.job_count()
+            << " jobs on " << sweep_runner.jobs() << " workers\n";
+  const runner::SweepResult result = sweep_runner.run(spec);
+  std::cerr << "done in " << result.wall_seconds << " s ("
+            << result.tasks_stolen << " tasks stolen)\n";
+
+  const std::string json = runner::to_json(result);
+  if (options.out.empty()) {
+    std::cout << json;
+  } else {
+    runner::write_file(options.out, json);
+    std::cerr << "wrote " << options.out << "\n";
+  }
+  if (!options.csv.empty()) {
+    runner::write_file(options.csv, runner::to_csv(result));
+    std::cerr << "wrote " << options.csv << "\n";
+  }
+  return 0;
+} catch (const std::exception& e) {
+  std::cerr << "sweep: " << e.what() << "\n";
+  return 1;
+}

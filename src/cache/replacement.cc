@@ -1,6 +1,5 @@
 #include "cache/replacement.hh"
 
-#include <bit>
 #include <stdexcept>
 
 namespace allarm::cache {
@@ -32,13 +31,22 @@ std::uint32_t LruPolicy::victim(std::uint32_t set,
 
 // ----------------------------------------------------------- Tree PLRU ----
 
-TreePlruPolicy::TreePlruPolicy(std::uint32_t sets, std::uint32_t ways)
-    : ways_(ways), tree_bits_(ways - 1),
-      bits_(static_cast<std::size_t>(sets) * (ways - 1), 0) {
-  if (!std::has_single_bit(ways)) {
+namespace {
+
+// Validated before any member initializer runs: ways - 1 below would
+// underflow for ways == 0 and size a multi-gigabyte bit vector.
+std::uint32_t checked_pow2_ways(std::uint32_t ways) {
+  if (ways == 0 || (ways & (ways - 1)) != 0) {
     throw std::invalid_argument("TreePlruPolicy: ways must be a power of two");
   }
+  return ways;
 }
+
+}  // namespace
+
+TreePlruPolicy::TreePlruPolicy(std::uint32_t sets, std::uint32_t ways)
+    : ways_(checked_pow2_ways(ways)), tree_bits_(ways - 1),
+      bits_(static_cast<std::size_t>(sets) * (ways - 1), 0) {}
 
 void TreePlruPolicy::touch(std::uint32_t set, std::uint32_t way) {
   // Walk from the root; at each internal node set the bit to point AWAY

@@ -1,6 +1,5 @@
 #include "common/config.hh"
 
-#include <bit>
 
 namespace allarm {
 
@@ -32,7 +31,9 @@ void check_cache(const CacheConfig& c, const std::string& name) {
   check(c.size_bytes % kLineBytes == 0, name + " not a multiple of the line size");
   check(c.ways >= 1, name + " has zero ways");
   check(c.lines() % c.ways == 0, name + " lines not divisible by ways");
-  check(std::has_single_bit(c.sets()), name + " set count must be a power of two");
+  const std::uint32_t sets = c.sets();
+  check(sets != 0 && (sets & (sets - 1)) == 0,
+        name + " set count must be a power of two");
 }
 
 }  // namespace
@@ -48,7 +49,8 @@ void SystemConfig::validate() const {
   check(probe_filter_coverage_bytes >= kLineBytes, "probe filter too small");
   check(probe_filter_entries() % probe_filter_ways == 0,
         "probe filter entries not divisible by ways");
-  check(std::has_single_bit(probe_filter_entries() / probe_filter_ways),
+  const std::uint32_t pf_sets = probe_filter_entries() / probe_filter_ways;
+  check(pf_sets != 0 && (pf_sets & (pf_sets - 1)) == 0,
         "probe filter set count must be a power of two");
   check(flit_bytes >= 1, "flit size must be positive");
   check(control_msg_bytes >= 1 && data_msg_bytes > control_msg_bytes,

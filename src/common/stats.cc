@@ -1,6 +1,8 @@
 #include "common/stats.hh"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <iomanip>
 #include <sstream>
 
@@ -35,6 +37,69 @@ std::string StatSet::to_string() const {
         << value << '\n';
   }
   return out.str();
+}
+
+void Summary::add(double value) {
+  if (count == 0) {
+    min = max = value;
+  } else {
+    min = std::min(min, value);
+    max = std::max(max, value);
+  }
+  ++count;
+  const double delta = value - mean;
+  mean += delta / static_cast<double>(count);
+  m2_ += delta * (value - mean);
+}
+
+double Summary::stddev() const {
+  if (count < 2) return 0.0;
+  return std::sqrt(m2_ / static_cast<double>(count - 1));
+}
+
+Summary summarize(const std::vector<double>& values) {
+  Summary s;
+  for (double v : values) s.add(v);
+  return s;
+}
+
+std::string json_number(double value) {
+  if (!std::isfinite(value)) return "null";
+  // Integral values (counters, ticks) print exactly; everything else uses
+  // %.17g, which round-trips any double and is locale-independent here.
+  if (value == std::floor(value) && std::abs(value) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", value);
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+std::string json_quote(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
 }
 
 double geomean(const std::vector<double>& values) {

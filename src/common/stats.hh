@@ -45,6 +45,37 @@ class StatSet {
   std::map<std::string, double> values_;
 };
 
+/// Aggregate of one statistic across sweep replicates.
+///
+/// Values are folded with Welford's algorithm in the order given, so two
+/// aggregations over the same sequence produce bit-identical results — the
+/// sweep runner relies on this for reproducible reports at any job count.
+struct Summary {
+  std::uint64_t count = 0;
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+
+  /// Folds one value into the aggregate.
+  void add(double value);
+
+  /// Sample standard deviation; 0 when fewer than two values were added.
+  double stddev() const;
+
+ private:
+  double m2_ = 0.0;  ///< Sum of squared deviations from the running mean.
+};
+
+/// Summarizes `values` in order.
+Summary summarize(const std::vector<double>& values);
+
+/// Serializes a double for JSON: round-trip precision, no locale, stable
+/// output for a given bit pattern (integers render without an exponent).
+std::string json_number(double value);
+
+/// Quotes and escapes a string as a JSON string literal.
+std::string json_quote(const std::string& s);
+
 /// Geometric mean of a list of strictly positive values.
 /// Returns 0 when the list is empty or any entry is non-positive.
 double geomean(const std::vector<double>& values);

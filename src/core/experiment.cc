@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 #include <string>
+#include <thread>
 
 namespace allarm::core {
 
@@ -23,12 +24,27 @@ PairResult run_pair(const SystemConfig& config,
   return result;
 }
 
+RunResult run_request(const RunRequest& request) {
+  return run_single(request.config, request.mode, request.spec, request.seed,
+                    request.policy);
+}
+
 std::uint64_t bench_accesses(std::uint64_t fallback) {
   if (const char* env = std::getenv("ALLARM_BENCH_ACCESSES")) {
     const std::uint64_t v = std::strtoull(env, nullptr, 10);
     if (v > 0) return v;
   }
   return fallback;
+}
+
+std::uint32_t bench_jobs(std::uint32_t fallback) {
+  if (const char* env = std::getenv("ALLARM_JOBS")) {
+    const std::uint64_t v = std::strtoull(env, nullptr, 10);
+    if (v > 0 && v <= 4096) return static_cast<std::uint32_t>(v);
+  }
+  if (fallback > 0) return fallback;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
 }
 
 }  // namespace allarm::core

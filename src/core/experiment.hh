@@ -38,8 +38,29 @@ struct PairResult {
 PairResult run_pair(const SystemConfig& config,
                     const workload::WorkloadSpec& spec, std::uint64_t seed);
 
+/// Self-contained description of one simulation run: everything a worker
+/// thread needs to execute the run with no shared state.  This is the unit
+/// the sweep runner (src/runner/) schedules.
+struct RunRequest {
+  SystemConfig config;
+  DirectoryMode mode = DirectoryMode::kBaseline;
+  workload::WorkloadSpec spec;
+  std::uint64_t seed = 1;
+  numa::AllocPolicy policy = numa::AllocPolicy::kFirstTouch;
+};
+
+/// Runs `request` on a fresh System.  Thread-safe: concurrent calls never
+/// share simulator state.
+RunResult run_request(const RunRequest& request);
+
 /// Number of accesses per thread used by the figure benches.  Reads the
 /// ALLARM_BENCH_ACCESSES environment variable; defaults to `fallback`.
 std::uint64_t bench_accesses(std::uint64_t fallback);
+
+/// Worker-thread count for sweeps and the ported benches.  Reads the
+/// ALLARM_JOBS environment variable; when unset or invalid, returns
+/// `fallback`, or std::thread::hardware_concurrency() (at least 1) when
+/// `fallback` is 0.
+std::uint32_t bench_jobs(std::uint32_t fallback = 0);
 
 }  // namespace allarm::core

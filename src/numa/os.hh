@@ -132,7 +132,9 @@ class Os {
   struct PageKey {
     AddressSpaceId asid;
     PageNum vpage;
-    bool operator==(const PageKey&) const = default;
+    bool operator==(const PageKey& o) const {
+      return asid == o.asid && vpage == o.vpage;
+    }
   };
   struct PageKeyHash {
     std::size_t operator()(const PageKey& k) const {

@@ -1,0 +1,51 @@
+// One schedulable unit of a sweep: grid coordinates plus a fully
+// materialized run request.
+//
+// Jobs are self-contained by construction — the request carries its own
+// SystemConfig, workload spec and seed — so any worker thread can execute
+// any job at any time and the sweep result is independent of scheduling.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hh"
+#include "core/experiment.hh"
+
+namespace allarm::runner {
+
+/// Position of one job inside a SweepSpec grid.  (workload, config, mode)
+/// names the cell; `replicate` the repetition within the cell.
+struct JobCoord {
+  std::uint32_t workload = 0;
+  std::uint32_t config = 0;
+  std::uint32_t mode = 0;
+  std::uint32_t replicate = 0;
+};
+
+/// Derives the seed of one job from the sweep's base seed and grid
+/// coordinates.  Two properties are load-bearing:
+///
+///  - Purely positional: the seed depends only on coordinates, never on
+///    submission or completion order, so a sweep is bit-reproducible at any
+///    worker count.
+///  - Config- and mode-blind: cells that the figures compare against each
+///    other (baseline vs ALLARM, shrinking probe filters) replay identical
+///    access streams, matching the paper's same-workload methodology —
+///    only the machine under test changes.
+inline std::uint64_t job_seed(std::uint64_t base_seed, std::uint32_t workload,
+                              std::uint32_t replicate) {
+  std::uint64_t s = SplitMix64(base_seed).next();
+  s ^= 0x9e3779b97f4a7c15ull * (static_cast<std::uint64_t>(workload) + 1);
+  s = SplitMix64(s).next();
+  s ^= 0xbf58476d1ce4e5b9ull * (static_cast<std::uint64_t>(replicate) + 1);
+  s = SplitMix64(s).next();
+  return s != 0 ? s : 1;  // A zero seed would collapse the xoshiro state.
+}
+
+/// A materialized job: where it sits in the grid and what to run.
+struct Job {
+  JobCoord coord;
+  core::RunRequest request;
+};
+
+}  // namespace allarm::runner

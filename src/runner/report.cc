@@ -1,0 +1,92 @@
+#include "runner/report.hh"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace allarm::runner {
+
+namespace {
+
+void append_summary_json(std::ostringstream& out, const Summary& s) {
+  out << "{\"count\":" << s.count << ",\"mean\":" << json_number(s.mean)
+      << ",\"stddev\":" << json_number(s.stddev())
+      << ",\"min\":" << json_number(s.min)
+      << ",\"max\":" << json_number(s.max) << "}";
+}
+
+void append_summary_csv(std::ostringstream& out, const Summary& s) {
+  out << s.count << ',' << json_number(s.mean) << ','
+      << json_number(s.stddev()) << ',' << json_number(s.min) << ','
+      << json_number(s.max);
+}
+
+}  // namespace
+
+std::string to_json(const SweepResult& result) {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"sweep\": " << json_quote(result.name) << ",\n";
+  out << "  \"base_seed\": " << result.base_seed << ",\n";
+  out << "  \"replicates\": " << result.replicates << ",\n";
+  out << "  \"accesses_per_thread\": " << result.accesses_per_thread << ",\n";
+  out << "  \"cells\": [\n";
+  for (std::size_t i = 0; i < result.cells.size(); ++i) {
+    const CellResult& cell = result.cells[i];
+    out << "    {\n";
+    out << "      \"workload\": " << json_quote(cell.workload) << ",\n";
+    out << "      \"config\": " << json_quote(cell.config_label) << ",\n";
+    out << "      \"mode\": " << json_quote(to_string(cell.mode)) << ",\n";
+    out << "      \"seeds\": [";
+    for (std::size_t s = 0; s < cell.seeds.size(); ++s) {
+      if (s > 0) out << ",";
+      out << cell.seeds[s];
+    }
+    out << "],\n";
+    out << "      \"runtime\": ";
+    append_summary_json(out, cell.runtime);
+    out << ",\n";
+    out << "      \"stats\": {";
+    bool first = true;
+    for (const auto& [name, summary] : cell.stats) {
+      if (!first) out << ",";
+      first = false;
+      out << "\n        " << json_quote(name) << ": ";
+      append_summary_json(out, summary);
+    }
+    if (!cell.stats.empty()) out << "\n      ";
+    out << "}\n";
+    out << "    }" << (i + 1 < result.cells.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n";
+  out << "}\n";
+  return out.str();
+}
+
+std::string to_csv(const SweepResult& result) {
+  std::ostringstream out;
+  out << "sweep,workload,config,mode,metric,count,mean,stddev,min,max\n";
+  for (const CellResult& cell : result.cells) {
+    const std::string prefix = result.name + "," + cell.workload + "," +
+                               cell.config_label + "," + to_string(cell.mode) +
+                               ",";
+    out << prefix << "runtime,";
+    append_summary_csv(out, cell.runtime);
+    out << "\n";
+    for (const auto& [name, summary] : cell.stats) {
+      out << prefix << name << ',';
+      append_summary_csv(out, summary);
+      out << "\n";
+    }
+  }
+  return out.str();
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) throw std::runtime_error("cannot open " + path + " for writing");
+  file << content;
+  if (!file) throw std::runtime_error("failed writing " + path);
+}
+
+}  // namespace allarm::runner

@@ -1,0 +1,26 @@
+// Serialization of sweep results.
+//
+// Both formats are canonical: fixed field order, map-sorted statistic
+// names, round-trip number formatting, and no execution metadata (worker
+// count, wall clock, steal counts).  Two sweeps of the same spec therefore
+// produce byte-identical reports regardless of --jobs — the property the
+// determinism tests pin down.
+#pragma once
+
+#include <string>
+
+#include "runner/sweep.hh"
+
+namespace allarm::runner {
+
+/// Renders `result` as a JSON document (trailing newline included).
+std::string to_json(const SweepResult& result);
+
+/// Renders `result` as long-format CSV: one row per (cell, metric), with
+/// ROI runtime reported as the metric named "runtime".
+std::string to_csv(const SweepResult& result);
+
+/// Writes `content` to `path`; throws std::runtime_error on I/O failure.
+void write_file(const std::string& path, const std::string& content);
+
+}  // namespace allarm::runner

@@ -1,0 +1,132 @@
+#include "runner/sweep.hh"
+
+#include <chrono>
+#include <stdexcept>
+
+#include "runner/thread_pool.hh"
+#include "workload/profiles.hh"
+
+namespace allarm::runner {
+
+const CellResult* SweepResult::find(const std::string& workload,
+                                    const std::string& config_label,
+                                    DirectoryMode mode) const {
+  for (const auto& cell : cells) {
+    if (cell.workload == workload && cell.config_label == config_label &&
+        cell.mode == mode) {
+      return &cell;
+    }
+  }
+  return nullptr;
+}
+
+core::PairResult SweepResult::pair(const std::string& workload,
+                                   const std::string& config_label,
+                                   std::uint32_t replicate) const {
+  const CellResult* base = find(workload, config_label, DirectoryMode::kBaseline);
+  const CellResult* allarm = find(workload, config_label, DirectoryMode::kAllarm);
+  if (base == nullptr || allarm == nullptr) {
+    throw std::out_of_range("sweep has no baseline/ALLARM pair for " +
+                            workload + "/" + config_label);
+  }
+  core::PairResult pair;
+  pair.baseline = base->runs.at(replicate);
+  pair.allarm = allarm->runs.at(replicate);
+  return pair;
+}
+
+std::vector<Job> expand_jobs(const SweepSpec& spec) {
+  const WorkloadFactory factory =
+      spec.make_workload
+          ? spec.make_workload
+          : [](const std::string& name, const SystemConfig& config,
+               std::uint64_t accesses) {
+              return workload::make_benchmark(name, config, accesses);
+            };
+  std::vector<Job> jobs;
+  jobs.reserve(spec.job_count());
+  for (std::uint32_t w = 0; w < spec.workloads.size(); ++w) {
+    for (std::uint32_t c = 0; c < spec.configs.size(); ++c) {
+      const ConfigPoint& point = spec.configs[c];
+      // The workload layout depends only on the machine geometry, which is
+      // identical for both directory modes — build it once per (w, c).
+      const workload::WorkloadSpec workload_spec = factory(
+          spec.workloads[w], point.config, spec.accesses_per_thread);
+      for (std::uint32_t m = 0; m < spec.modes.size(); ++m) {
+        for (std::uint32_t r = 0; r < spec.replicates; ++r) {
+          Job job;
+          job.coord = JobCoord{w, c, m, r};
+          job.request.config = point.config;
+          job.request.mode = spec.modes[m];
+          job.request.spec = workload_spec;
+          job.request.seed = job_seed(spec.base_seed, w, r);
+          job.request.policy = point.policy;
+          jobs.push_back(std::move(job));
+        }
+      }
+    }
+  }
+  return jobs;
+}
+
+SweepRunner::SweepRunner(std::uint32_t jobs)
+    : jobs_(jobs > 0 ? jobs : core::bench_jobs()) {}
+
+SweepResult SweepRunner::run(const SweepSpec& spec) const {
+  if (spec.workloads.empty() || spec.configs.empty() || spec.modes.empty() ||
+      spec.replicates == 0) {
+    throw std::invalid_argument("sweep '" + spec.name + "' has an empty axis");
+  }
+  const auto start = std::chrono::steady_clock::now();
+
+  std::vector<Job> jobs = expand_jobs(spec);
+  std::vector<core::RunResult> results(jobs.size());
+
+  // Each job writes only its preassigned slot, so the result layout — and
+  // everything aggregated from it — is scheduling-independent.
+  ThreadPool pool(jobs_);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const Job& job = jobs[i];
+    core::RunResult& slot = results[i];
+    pool.submit([&job, &slot] { slot = core::run_request(job.request); });
+  }
+  pool.wait_idle();
+
+  SweepResult out;
+  out.name = spec.name;
+  out.base_seed = spec.base_seed;
+  out.replicates = spec.replicates;
+  out.accesses_per_thread = spec.accesses_per_thread;
+  out.jobs_used = pool.worker_count();
+  out.tasks_stolen = pool.steal_count();
+
+  // Aggregate in grid order: jobs are laid out workload-major with
+  // replicates innermost, so each cell is a contiguous slice.
+  std::size_t index = 0;
+  for (const auto& workload_name : spec.workloads) {
+    for (const auto& point : spec.configs) {
+      for (const DirectoryMode mode : spec.modes) {
+        CellResult cell;
+        cell.workload = workload_name;
+        cell.config_label = point.label;
+        cell.mode = mode;
+        for (std::uint32_t r = 0; r < spec.replicates; ++r, ++index) {
+          cell.seeds.push_back(jobs[index].request.seed);
+          cell.runtime.add(static_cast<double>(results[index].runtime));
+          for (const auto& [stat, value] : results[index].stats.values()) {
+            cell.stats[stat].add(value);
+          }
+          cell.runs.push_back(std::move(results[index]));
+        }
+        out.cells.push_back(std::move(cell));
+      }
+    }
+  }
+
+  out.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return out;
+}
+
+}  // namespace allarm::runner

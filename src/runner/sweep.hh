@@ -1,0 +1,117 @@
+// Declarative experiment sweeps and the parallel runner that executes them.
+//
+// The paper's figures are grids — (workload x configuration x directory
+// mode), usually with the same workload stream replayed on every machine
+// variant.  A SweepSpec describes such a grid once; SweepRunner shards the
+// fully-independent jobs across host cores and folds the results into a
+// SweepResult whose content is bit-identical at any --jobs setting (seeds
+// come from grid coordinates, result slots are preassigned, aggregation
+// runs in grid order).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "core/experiment.hh"
+#include "runner/job.hh"
+#include "workload/spec.hh"
+
+namespace allarm::runner {
+
+/// One point on the configuration axis: a labelled machine variant.
+struct ConfigPoint {
+  std::string label;
+  SystemConfig config;
+  numa::AllocPolicy policy = numa::AllocPolicy::kFirstTouch;
+};
+
+/// Builds the workload for one (workload name, machine) pair.
+using WorkloadFactory = std::function<workload::WorkloadSpec(
+    const std::string& name, const SystemConfig& config,
+    std::uint64_t accesses_per_thread)>;
+
+/// A sweep grid: workloads x configs x modes, each cell run `replicates`
+/// times.  Axis order is also result order (workload-major, then config,
+/// then mode, then replicate).
+struct SweepSpec {
+  std::string name;
+  std::vector<std::string> workloads;  ///< Benchmark profile names.
+  std::vector<ConfigPoint> configs;
+  std::vector<DirectoryMode> modes;
+  std::uint32_t replicates = 1;
+  std::uint64_t base_seed = 42;
+  std::uint64_t accesses_per_thread = 20000;
+  /// Defaults to workload::make_benchmark; tests substitute tiny profiles.
+  WorkloadFactory make_workload;
+
+  std::uint64_t job_count() const {
+    return static_cast<std::uint64_t>(workloads.size()) * configs.size() *
+           modes.size() * replicates;
+  }
+};
+
+/// Aggregated results of one grid cell.
+struct CellResult {
+  std::string workload;
+  std::string config_label;
+  DirectoryMode mode = DirectoryMode::kBaseline;
+
+  std::vector<std::uint64_t> seeds;     ///< Per-replicate seeds, in order.
+  std::vector<core::RunResult> runs;    ///< Per-replicate raw results.
+  Summary runtime;                      ///< ROI runtime across replicates.
+  std::map<std::string, Summary> stats; ///< Per-statistic aggregates.
+};
+
+/// All cells of a sweep, in grid order.
+struct SweepResult {
+  std::string name;
+  std::uint64_t base_seed = 0;
+  std::uint32_t replicates = 1;
+  std::uint64_t accesses_per_thread = 0;
+  std::vector<CellResult> cells;
+
+  // Execution metadata.  Deliberately excluded from the JSON/CSV reports:
+  // they vary run to run while the science above must not.
+  std::uint32_t jobs_used = 1;
+  std::uint64_t tasks_stolen = 0;
+  double wall_seconds = 0.0;
+
+  /// Looks up a cell; returns nullptr when absent.
+  const CellResult* find(const std::string& workload,
+                         const std::string& config_label,
+                         DirectoryMode mode) const;
+
+  /// Baseline/ALLARM pair of a (workload, config) cell pair, built from
+  /// replicate `replicate` of each.  Throws std::out_of_range when either
+  /// cell or replicate is missing.
+  core::PairResult pair(const std::string& workload,
+                        const std::string& config_label,
+                        std::uint32_t replicate = 0) const;
+};
+
+/// Executes sweeps on a work-stealing pool.
+class SweepRunner {
+ public:
+  /// `jobs` = worker threads; 0 means core::bench_jobs() (ALLARM_JOBS or
+  /// hardware concurrency).
+  explicit SweepRunner(std::uint32_t jobs = 0);
+
+  /// Runs every job of `spec` and aggregates.  Output content depends only
+  /// on the spec, never on the worker count or scheduling.
+  SweepResult run(const SweepSpec& spec) const;
+
+  std::uint32_t jobs() const { return jobs_; }
+
+ private:
+  std::uint32_t jobs_;
+};
+
+/// Materializes the job list of `spec` in grid order (exposed for tests).
+std::vector<Job> expand_jobs(const SweepSpec& spec);
+
+}  // namespace allarm::runner

@@ -1,0 +1,86 @@
+#include "runner/thread_pool.hh"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace allarm::runner {
+
+ThreadPool::ThreadPool(std::uint32_t workers)
+    : queues_(std::max<std::uint32_t>(workers, 1)) {
+  threads_.reserve(queues_.size());
+  for (std::uint32_t i = 0; i < queues_.size(); ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  wait_idle();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::submit(Task task) {
+  // An empty task would be indistinguishable from the stop sentinel the
+  // workers use and would wedge wait_idle(); reject it up front.
+  if (!task) throw std::invalid_argument("ThreadPool: empty task");
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queues_[next_queue_].push_back(std::move(task));
+    next_queue_ = (next_queue_ + 1) % static_cast<std::uint32_t>(queues_.size());
+    ++unfinished_;
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [this] { return unfinished_ == 0; });
+}
+
+std::uint64_t ThreadPool::steal_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return steals_;
+}
+
+bool ThreadPool::try_pop(std::uint32_t self, Task& task) {
+  if (!queues_[self].empty()) {
+    task = std::move(queues_[self].front());
+    queues_[self].pop_front();
+    return true;
+  }
+  const auto n = static_cast<std::uint32_t>(queues_.size());
+  for (std::uint32_t i = 1; i < n; ++i) {
+    auto& victim = queues_[(self + i) % n];
+    if (!victim.empty()) {
+      task = std::move(victim.back());
+      victim.pop_back();
+      ++steals_;
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(std::uint32_t self) {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] { return try_pop(self, task) || stopping_; });
+      if (!task) return;  // Stopping and no work left.
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --unfinished_;
+      if (unfinished_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace allarm::runner

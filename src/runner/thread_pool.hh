@@ -1,0 +1,75 @@
+// A small work-stealing thread pool for experiment-level parallelism.
+//
+// Every simulation in a sweep is independent (one fresh System per job), so
+// the pool only has to keep cores busy: each worker owns a deque, submit()
+// deals tasks round-robin, owners pop from the front of their own deque and
+// idle workers steal from the back of someone else's.  Tasks are coarse
+// (whole simulations, milliseconds to minutes), so queue operations are
+// guarded by one mutex rather than lock-free deques — contention is
+// unmeasurable at this granularity and the simple design is easy to audit.
+//
+// Determinism note: the pool makes NO ordering guarantees.  Reproducibility
+// of sweep output comes from jobs deriving their seeds from grid coordinates
+// and writing results to preassigned slots (see runner/sweep.cc).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace allarm::runner {
+
+class ThreadPool {
+ public:
+  using Task = std::function<void()>;
+
+  /// Starts `workers` threads (at least 1).
+  explicit ThreadPool(std::uint32_t workers);
+
+  /// Waits for all submitted tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task.  Tasks must not throw; a task that does terminates
+  /// the process (simulations signal failure through their result slot).
+  void submit(Task task);
+
+  /// Blocks until every submitted task has finished.  The pool is reusable
+  /// afterwards.
+  void wait_idle();
+
+  std::uint32_t worker_count() const {
+    return static_cast<std::uint32_t>(queues_.size());
+  }
+
+  /// Number of tasks executed by a worker other than the one they were
+  /// dealt to.  Diagnostic only (tests, --verbose sweeps).
+  std::uint64_t steal_count() const;
+
+ private:
+  void worker_loop(std::uint32_t self);
+
+  /// Pops the next task for worker `self`: front of its own deque, else the
+  /// back of the first non-empty peer deque (a steal).  Returns false when
+  /// no work is available.  Caller holds `mutex_`.
+  bool try_pop(std::uint32_t self, Task& task);
+
+  std::vector<std::deque<Task>> queues_;  // One per worker.
+  std::vector<std::thread> threads_;
+
+  mutable std::mutex mutex_;        // Guards queues_ and the counters below.
+  std::condition_variable work_cv_;  // Signals workers: work or stop.
+  std::condition_variable idle_cv_;  // Signals wait_idle(): all done.
+  std::uint64_t unfinished_ = 0;     // Tasks submitted but not yet completed.
+  std::uint64_t steals_ = 0;
+  std::uint32_t next_queue_ = 0;     // Round-robin dealing cursor.
+  bool stopping_ = false;
+};
+
+}  // namespace allarm::runner
