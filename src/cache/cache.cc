@@ -21,8 +21,7 @@ Cache::Cache(const CacheConfig& config, ReplacementKind replacement,
       ways_(config.ways),
       name_(std::move(name)),
       slots_(static_cast<std::size_t>(config.sets()) * config.ways),
-      policy_(make_policy(replacement, config.sets(), config.ways, seed)),
-      eligible_scratch_(config.ways, true) {}
+      policy_(make_policy(replacement, config.sets(), config.ways, seed)) {}
 
 Cache::Slot* Cache::find_slot(LineAddr line) {
   Slot* base = &slots_[static_cast<std::size_t>(set_of(line)) * ways_];
@@ -42,12 +41,16 @@ LineState Cache::state_of(LineAddr line) const {
 }
 
 bool Cache::touch(LineAddr line) {
+  return touch_ref(line) != nullptr;
+}
+
+LineState* Cache::touch_ref(LineAddr line) {
   Slot* s = find_slot(line);
-  if (!s) return false;
+  if (!s) return nullptr;
   const auto way = static_cast<std::uint32_t>(
       s - &slots_[static_cast<std::size_t>(set_of(line)) * ways_]);
   policy_->touch(set_of(line), way);
-  return true;
+  return &s->state;
 }
 
 bool Cache::set_state(LineAddr line, LineState state) {
@@ -64,26 +67,28 @@ Victim Cache::insert(LineAddr line, LineState state) {
   if (!is_valid(state)) {
     throw std::invalid_argument("Cache::insert: invalid state");
   }
-  if (find_slot(line)) {
-    throw std::logic_error("Cache::insert: line already present in " + name_);
-  }
   const std::uint32_t set = set_of(line);
   Slot* base = &slots_[static_cast<std::size_t>(set) * ways_];
 
-  // Prefer a free way.
+  // One scan: find the first free way while guarding against duplicates.
+  std::uint32_t free_way = ways_;
   for (std::uint32_t w = 0; w < ways_; ++w) {
     if (!is_valid(base[w].state)) {
-      base[w] = Slot{line, state};
-      policy_->touch(set, w);
-      ++occupancy_;
-      return Victim{};
+      if (free_way == ways_) free_way = w;
+    } else if (base[w].line == line) {
+      throw std::logic_error("Cache::insert: line already present in " + name_);
     }
+  }
+  if (free_way != ways_) {
+    base[free_way] = Slot{line, state};
+    policy_->touch(set, free_way);
+    ++occupancy_;
+    return Victim{};
   }
 
   // Evict a victim (all ways eligible: caches never pin lines; the probe
   // filter, which does pin busy lines, selects victims itself).
-  std::fill(eligible_scratch_.begin(), eligible_scratch_.end(), true);
-  const std::uint32_t w = policy_->victim(set, eligible_scratch_);
+  const std::uint32_t w = policy_->victim_any(set);
   const Victim victim{base[w].line, base[w].state};
   base[w] = Slot{line, state};
   policy_->touch(set, w);
@@ -99,7 +104,7 @@ LineState Cache::erase(LineAddr line) {
   return had;
 }
 
-void Cache::for_each(const std::function<void(LineAddr, LineState)>& fn) const {
+void Cache::for_each(FunctionRef<void(LineAddr, LineState)> fn) const {
   for (const Slot& s : slots_) {
     if (is_valid(s.state)) fn(s.line, s.state);
   }

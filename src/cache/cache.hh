@@ -5,13 +5,13 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "cache/replacement.hh"
 #include "common/config.hh"
+#include "common/function_ref.hh"
 #include "common/types.hh"
 
 namespace allarm::cache {
@@ -69,6 +69,11 @@ class Cache {
   /// Marks `line` as accessed (replacement bookkeeping). Returns true on hit.
   bool touch(LineAddr line);
 
+  /// touch(), but returns a mutable pointer to the line's state (nullptr on
+  /// miss) so the core's load/store hit path can rewrite the state without
+  /// a second tag scan.
+  LineState* touch_ref(LineAddr line);
+
   /// Changes the state of a present line. Returns false when absent.
   bool set_state(LineAddr line, LineState state);
 
@@ -84,7 +89,7 @@ class Cache {
   std::uint32_t occupancy() const { return occupancy_; }
 
   /// Invokes `fn(line, state)` for every valid line (for invariant checks).
-  void for_each(const std::function<void(LineAddr, LineState)>& fn) const;
+  void for_each(FunctionRef<void(LineAddr, LineState)> fn) const;
 
   /// Removes every line (used between experiment repetitions).
   void clear();
@@ -107,7 +112,6 @@ class Cache {
   std::vector<Slot> slots_;  // sets x ways
   std::unique_ptr<ReplacementPolicy> policy_;
   std::uint32_t occupancy_ = 0;
-  mutable std::vector<bool> eligible_scratch_;
 };
 
 }  // namespace allarm::cache

@@ -41,6 +41,12 @@ void Hierarchy::touch(LineAddr line) {
   if (!l1d_.touch(line) && !l1i_.touch(line)) l2_.touch(line);
 }
 
+LineState* Hierarchy::touch_ref(LineAddr line) {
+  if (LineState* s = l1d_.touch_ref(line)) return s;
+  if (LineState* s = l1i_.touch_ref(line)) return s;
+  return l2_.touch_ref(line);
+}
+
 void Hierarchy::insert_cascading(Array target, LineAddr line, LineState state,
                                  std::vector<Victim>& out) {
   const Victim l1_victim = array_of(target).insert(line, state);
@@ -49,20 +55,20 @@ void Hierarchy::insert_cascading(Array target, LineAddr line, LineState state,
   if (l2_victim.valid()) out.push_back(l2_victim);
 }
 
-std::vector<Victim> Hierarchy::fill(Array target, LineAddr line,
-                                    LineState state) {
+const std::vector<Victim>& Hierarchy::fill(Array target, LineAddr line,
+                                           LineState state) {
   if (target != Array::kL1D && target != Array::kL1I) {
     throw std::invalid_argument("Hierarchy::fill: target must be an L1");
   }
   if (locate(line).present()) {
     throw std::logic_error("Hierarchy::fill: line already present");
   }
-  std::vector<Victim> out;
-  insert_cascading(target, line, state, out);
-  return out;
+  victims_scratch_.clear();
+  insert_cascading(target, line, state, victims_scratch_);
+  return victims_scratch_;
 }
 
-std::vector<Victim> Hierarchy::promote(Array target, LineAddr line) {
+const std::vector<Victim>& Hierarchy::promote(Array target, LineAddr line) {
   if (target != Array::kL1D && target != Array::kL1I) {
     throw std::invalid_argument("Hierarchy::promote: target must be an L1");
   }
@@ -70,9 +76,9 @@ std::vector<Victim> Hierarchy::promote(Array target, LineAddr line) {
   if (!is_valid(state)) {
     throw std::logic_error("Hierarchy::promote: line not in L2");
   }
-  std::vector<Victim> out;
-  insert_cascading(target, line, state, out);
-  return out;
+  victims_scratch_.clear();
+  insert_cascading(target, line, state, victims_scratch_);
+  return victims_scratch_;
 }
 
 LineState Hierarchy::invalidate(LineAddr line) {
@@ -97,8 +103,7 @@ bool Hierarchy::set_state(LineAddr line, LineState state) {
   return array_of(loc.array).set_state(line, state);
 }
 
-void Hierarchy::for_each(
-    const std::function<void(LineAddr, LineState)>& fn) const {
+void Hierarchy::for_each(FunctionRef<void(LineAddr, LineState)> fn) const {
   l1d_.for_each(fn);
   l1i_.for_each(fn);
   l2_.for_each(fn);

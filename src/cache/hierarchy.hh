@@ -42,14 +42,22 @@ class Hierarchy {
   /// Replacement bookkeeping for a hit on `line`.
   void touch(LineAddr line);
 
+  /// touch(), returning a mutable pointer to the line's state (nullptr when
+  /// absent).  Single tag scan for the core's L1-hit fast path.
+  LineState* touch_ref(LineAddr line);
+
   /// Inserts `line` into `target` (must be kL1D or kL1I, and the line must
   /// be absent).  Returns the lines pushed out of the hierarchy, oldest
-  /// first.
-  std::vector<Victim> fill(Array target, LineAddr line, LineState state);
+  /// first.  The returned reference aliases a scratch buffer reused by the
+  /// next fill/promote call -- consume it before re-entering the hierarchy
+  /// (this keeps the per-miss path free of vector allocations).
+  const std::vector<Victim>& fill(Array target, LineAddr line,
+                                  LineState state);
 
   /// Moves a line that hit in the L2 up into `target` (kL1D or kL1I),
-  /// preserving its state.  Returns lines pushed out of the hierarchy.
-  std::vector<Victim> promote(Array target, LineAddr line);
+  /// preserving its state.  Returns lines pushed out of the hierarchy
+  /// (same aliasing rule as fill).
+  const std::vector<Victim>& promote(Array target, LineAddr line);
 
   /// Removes `line` from whichever array holds it.
   /// Returns the state it held (kInvalid when absent).
@@ -63,7 +71,7 @@ class Hierarchy {
   bool set_state(LineAddr line, LineState state);
 
   /// Applies `fn(line, state)` over every line in the hierarchy.
-  void for_each(const std::function<void(LineAddr, LineState)>& fn) const;
+  void for_each(FunctionRef<void(LineAddr, LineState)> fn) const;
 
   /// Total lines held across the three arrays.
   std::uint32_t occupancy() const;
@@ -86,6 +94,7 @@ class Hierarchy {
   Cache l1d_;
   Cache l1i_;
   Cache l2_;
+  std::vector<Victim> victims_scratch_;  ///< Backing for fill/promote results.
 };
 
 }  // namespace allarm::cache

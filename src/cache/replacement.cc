@@ -29,6 +29,21 @@ std::uint32_t LruPolicy::victim(std::uint32_t set,
   return best;
 }
 
+std::uint32_t LruPolicy::victim_any(std::uint32_t set) {
+  // Identical selection to victim() with every way eligible: the first way
+  // holding the minimum stamp.
+  const std::uint64_t* stamps = &stamp_[static_cast<std::size_t>(set) * ways_];
+  std::uint32_t best = 0;
+  std::uint64_t best_stamp = stamps[0];
+  for (std::uint32_t w = 1; w < ways_; ++w) {
+    if (stamps[w] < best_stamp) {
+      best = w;
+      best_stamp = stamps[w];
+    }
+  }
+  return best;
+}
+
 // ----------------------------------------------------------- Tree PLRU ----
 
 namespace {
@@ -87,6 +102,22 @@ std::uint32_t TreePlruPolicy::victim(std::uint32_t set,
   throw std::logic_error("TreePlruPolicy: no eligible way");
 }
 
+std::uint32_t TreePlruPolicy::victim_any(std::uint32_t set) {
+  // The tree-implied victim; always eligible in this variant.
+  const std::uint8_t* tree = &bits_[static_cast<std::size_t>(set) * tree_bits_];
+  std::uint32_t node = 0;
+  std::uint32_t span = ways_;
+  std::uint32_t lo = 0;
+  while (span > 1) {
+    const std::uint32_t half = span / 2;
+    const bool right = tree[node] != 0;
+    node = 2 * node + (right ? 2 : 1);
+    if (right) lo += half;
+    span = half;
+  }
+  return lo;
+}
+
 // -------------------------------------------------------------- Random ----
 
 RandomPolicy::RandomPolicy(std::uint32_t sets, std::uint32_t ways,
@@ -111,6 +142,11 @@ std::uint32_t RandomPolicy::victim(std::uint32_t,
     --pick;
   }
   throw std::logic_error("RandomPolicy: unreachable");
+}
+
+std::uint32_t RandomPolicy::victim_any(std::uint32_t) {
+  // Same draw as victim() with all ways eligible (identical RNG stream).
+  return static_cast<std::uint32_t>(rng_.below(ways_));
 }
 
 // ------------------------------------------------------------- Factory ----

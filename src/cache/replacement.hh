@@ -25,6 +25,12 @@ class ReplacementPolicy {
   /// Returns the chosen way.
   virtual std::uint32_t victim(std::uint32_t set,
                                const std::vector<bool>& eligible) = 0;
+
+  /// victim() with every way eligible -- the caches' common case (they
+  /// never pin lines), without the eligibility-vector scan.  Must pick the
+  /// same way (and consume the same amount of randomness) as victim()
+  /// would with an all-true vector.
+  virtual std::uint32_t victim_any(std::uint32_t set) = 0;
 };
 
 /// True LRU via per-way access stamps.
@@ -34,6 +40,7 @@ class LruPolicy final : public ReplacementPolicy {
   void touch(std::uint32_t set, std::uint32_t way) override;
   std::uint32_t victim(std::uint32_t set,
                        const std::vector<bool>& eligible) override;
+  std::uint32_t victim_any(std::uint32_t set) override;
 
  private:
   std::uint32_t ways_;
@@ -50,6 +57,7 @@ class TreePlruPolicy final : public ReplacementPolicy {
   void touch(std::uint32_t set, std::uint32_t way) override;
   std::uint32_t victim(std::uint32_t set,
                        const std::vector<bool>& eligible) override;
+  std::uint32_t victim_any(std::uint32_t set) override;
 
  private:
   std::uint32_t ways_;
@@ -64,6 +72,7 @@ class RandomPolicy final : public ReplacementPolicy {
   void touch(std::uint32_t set, std::uint32_t way) override;
   std::uint32_t victim(std::uint32_t set,
                        const std::vector<bool>& eligible) override;
+  std::uint32_t victim_any(std::uint32_t set) override;
 
  private:
   std::uint32_t ways_;

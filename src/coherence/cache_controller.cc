@@ -23,8 +23,8 @@ Tick CacheController::acquire(Tick now, Tick duration) {
 }
 
 bool CacheController::in_writeback_buffer(LineAddr line) const {
-  const auto it = wbb_.find(line);
-  return it != wbb_.end() && !it->second.invalidated;
+  const WbbEntry* entry = wbb_.find(line);
+  return entry != nullptr && !entry->invalidated;
 }
 
 void CacheController::emit_writebacks(const std::vector<cache::Victim>& victims,
@@ -37,10 +37,11 @@ void CacheController::emit_writebacks(const std::vector<cache::Victim>& victims,
       continue;
     }
     const bool dirty = cache::is_dirty(v.state);
-    if (wbb_.count(v.line)) {
+    const auto [entry, inserted] = wbb_.try_emplace(v.line);
+    if (!inserted) {
       ++stats_.wbb_collisions;  // Should not happen; keep simulating.
     }
-    wbb_[v.line] = WbbEntry{v.state, false};
+    *entry = WbbEntry{v.state, false};
     stats_.wbb_peak = std::max<std::uint64_t>(stats_.wbb_peak, wbb_.size());
     if (dirty) ++stats_.puts_dirty; else ++stats_.puts_clean;
 
@@ -59,8 +60,8 @@ void CacheController::emit_writebacks(const std::vector<cache::Victim>& victims,
 void CacheController::send_request(const PendingRequest& req, Tick t) {
   const MsgKind kind = req.write ? MsgKind::kGetM : MsgKind::kGetS;
   const NodeId home = fabric_.home_of(addr_of_line(req.line));
-  log_trace("cache", node_, " issues ", to_string(kind), " line=", req.line,
-            " home=", home);
+  ALLARM_LOG_TRACE("cache", node_, " issues ", to_string(kind), " line=",
+                   req.line, " home=", home);
   const Request out{req.line, node_, req.write,
                     hierarchy_.locate(req.line).present(), req.issued};
   const Tick t_arr =
@@ -99,16 +100,20 @@ void CacheController::core_access(AccessType type, Addr paddr, DoneFn done) {
         t = acquire(t, fabric_.config->l2.latency);
         emit_writebacks(hierarchy_.promote(want, line), t);
         ++stats_.l2_hits;
+        if (write) hierarchy_.set_state(line, LineState::kModified);
       } else if (write && loc.array == Array::kL1I) {
         // Store to a line sitting in the L1I: migrate it to the L1D.
         const LineState had = hierarchy_.invalidate(line);
         emit_writebacks(hierarchy_.fill(Array::kL1D, line, had), t);
         ++stats_.l1_hits;
+        hierarchy_.set_state(line, LineState::kModified);
       } else {
-        hierarchy_.touch(line);
+        // The common L1 hit: one combined tag-scan/touch, and stores
+        // rewrite the state through the returned reference.
+        cache::LineState* state_ref = hierarchy_.touch_ref(line);
         ++stats_.l1_hits;
+        if (write) *state_ref = LineState::kModified;
       }
-      if (write) hierarchy_.set_state(line, LineState::kModified);
       done(t);
       return;
     }
@@ -138,16 +143,16 @@ ProbeResult CacheController::probe(LineAddr line, ProbeOp op, Tick now) {
 
   // The writeback buffer still owns recently evicted lines and can supply
   // dirty data until the directory acknowledges the Put.
-  const auto it = wbb_.find(line);
-  if (it != wbb_.end() && !it->second.invalidated) {
+  if (WbbEntry* entry = wbb_.find(line);
+      entry != nullptr && !entry->invalidated) {
     ++stats_.probe_hits;
-    const LineState had = it->second.state;
+    const LineState had = entry->state;
     if (op == ProbeOp::kInvalidate) {
-      it->second.invalidated = true;
+      entry->invalidated = true;
     } else if (had == LineState::kModified) {
-      it->second.state = LineState::kOwned;
+      entry->state = LineState::kOwned;
     } else if (had == LineState::kExclusive) {
-      it->second.state = LineState::kShared;
+      entry->state = LineState::kShared;
     }
     return ProbeResult{t, had};
   }
@@ -180,8 +185,9 @@ void CacheController::grant(LineAddr line, LineState state, bool with_data,
     emit_writebacks(hierarchy_.fill(want, line, state), t);
   }
 
-  log_trace("cache", node_, " granted line=", line, " state=",
-            cache::to_string(state), with_data ? " with data" : " (upgrade)");
+  ALLARM_LOG_TRACE("cache", node_, " granted line=", line, " state=",
+                   cache::to_string(state),
+                   with_data ? " with data" : " (upgrade)");
   stats_.total_miss_latency += t - pending_->issued;
   DoneFn done = std::move(pending_->done);
   pending_.reset();

@@ -14,11 +14,11 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
-#include <unordered_map>
 
 #include "cache/hierarchy.hh"
 #include "coherence/fabric.hh"
 #include "coherence/messages.hh"
+#include "common/flat_map.hh"
 #include "common/types.hh"
 
 namespace allarm::coherence {
@@ -137,7 +137,7 @@ class CacheController {
   std::optional<std::pair<AccessType, Addr>> wbb_wait_;
   DoneFn wbb_wait_done_;
   LineAddr wbb_wait_line_ = 0;
-  std::unordered_map<LineAddr, WbbEntry> wbb_;
+  FlatMap<LineAddr, WbbEntry> wbb_;
   CacheControllerStats stats_;
 };
 

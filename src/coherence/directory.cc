@@ -45,22 +45,20 @@ void DirectoryController::finish_at(LineAddr line, Tick when) {
 
 void DirectoryController::release_and_drain(LineAddr line) {
   busy_.erase(line);
-  const auto it = waiting_.find(line);
-  if (it == waiting_.end()) return;
-  std::deque<QueuedOp>& queue = it->second;
-  while (!queue.empty()) {
-    QueuedOp op = std::move(queue.front());
-    queue.pop_front();
+  OpQueue* queue = waiting_.find(line);
+  if (queue == nullptr) return;
+  while (!queue->empty()) {
+    QueuedOp op = queue->pop();
     if (std::holds_alternative<Request>(op)) {
       const Request r = std::get<Request>(op);
-      if (queue.empty()) waiting_.erase(it);
+      if (queue->empty()) waiting_.erase(line);
       busy_.insert(line);
       start_request(r, fabric_.events->now());
       return;
     }
     process_put(std::get<Put>(op), fabric_.events->now());
   }
-  waiting_.erase(it);
+  waiting_.erase(line);
 }
 
 // ----------------------------------------------------------- entry points ----
@@ -68,18 +66,17 @@ void DirectoryController::release_and_drain(LineAddr line) {
 void DirectoryController::handle_request(const Request& r) {
   ++stats_.requests;
   if (r.from == node_) ++stats_.local_requests; else ++stats_.remote_requests;
-  if (busy_.count(r.line)) {
-    waiting_[r.line].push_back(r);
+  if (!busy_.insert(r.line)) {  // Single probe: inserts unless already busy.
+    waiting_[r.line].push(r);
     ++stats_.queued_ops;
     return;
   }
-  busy_.insert(r.line);
   start_request(r, fabric_.events->now());
 }
 
 void DirectoryController::handle_put(const Put& p) {
   if (busy_.count(p.line)) {
-    waiting_[p.line].push_back(p);
+    waiting_[p.line].push(p);
     ++stats_.queued_ops;
     return;
   }
@@ -89,8 +86,8 @@ void DirectoryController::handle_put(const Put& p) {
 void DirectoryController::start_request(const Request& r, Tick now) {
   const Tick t = now + fabric_.config->probe_filter_latency;
   PfEntry* entry = pf_.lookup(r.line);
-  log_trace("dir", node_, " ", r.write ? "GetM" : "GetS", " line=", r.line,
-            " from=", r.from, entry ? " pf-hit" : " pf-miss");
+  ALLARM_LOG_TRACE("dir", node_, " ", r.write ? "GetM" : "GetS", " line=",
+                   r.line, " from=", r.from, entry ? " pf-hit" : " pf-miss");
   if (entry) {
     pf_.touch(r.line);
     if (r.write) hit_getm(r, *entry, t); else hit_gets(r, *entry, t);
@@ -219,16 +216,8 @@ void DirectoryController::hit_getm_broadcast(const Request& r, PfEntry& entry,
   // Hammer does not track sharer sets: invalidate everywhere (except the
   // requester).  Acks collect at the home; a dirty owner forwards the line
   // to the requester cache-to-cache.
-  struct Bcast {
-    std::uint32_t expected = 0;
-    std::uint32_t acks = 0;
-    Tick t_acks_done = 0;
-    Tick t_data = 0;
-    bool data_from_owner = false;
-    Tick t_mem = 0;      ///< Speculative DRAM read (when the requester lacks data).
-    bool used_dram = false;
-  };
-  auto st = std::make_shared<Bcast>();
+  BcastState* st = bcast_pool_.acquire();
+  st->r = r;
   const bool was_owned = entry.state == PfState::kOwned;
 
   // Speculative memory read when no dirty owner is guaranteed to supply it.
@@ -238,58 +227,60 @@ void DirectoryController::hit_getm_broadcast(const Request& r, PfEntry& entry,
   }
 
   const std::uint32_t n_nodes = fabric_.config->num_nodes();
-  auto on_all_acks = [this, r, st] {
-    pf_.update(r.line, PfState::kEM, r.from);
-    Tick t_end;
-    if (st->data_from_owner) {
-      // Line already flying to the requester; completion still waits for all
-      // acks, signalled with a control message.
-      const Tick t_cmpl = send(node_, r.from, MsgKind::kComplete,
-                               noc::TrafficCause::kResponse, st->t_acks_done);
-      t_end = std::max(st->t_data, t_cmpl);
-      grant_at(r, LineState::kModified, true, t_end);
-    } else if (r.has_line) {
-      const Tick t_cmpl = send(node_, r.from, MsgKind::kComplete,
-                               noc::TrafficCause::kResponse, st->t_acks_done);
-      t_end = t_cmpl;
-      grant_at(r, LineState::kModified, false, t_end);
-    } else {
-      Tick t_mem = st->t_mem;
-      if (!st->used_dram) {
-        // Tracked owner vanished without supplying data: defensive re-read.
-        ++stats_.anomalies;
-        t_mem = fabric_.drams[node_]->read(st->t_acks_done);
-      }
-      const Tick t_data =
-          send(node_, r.from, MsgKind::kData, noc::TrafficCause::kResponse,
-               std::max(t_mem, st->t_acks_done));
-      t_end = t_data;
-      grant_at(r, LineState::kModified, true, t_end);
-    }
-    finish_at(r.line, t_end);
-  };
-
   for (NodeId n = 0; n < n_nodes; ++n) {
     if (n == r.from) continue;
     ++st->expected;
     const Tick t_arr =
         send(node_, n, MsgKind::kProbeInv, noc::TrafficCause::kProbe, t);
-    fabric_.at(t_arr, [this, r, n, st, on_all_acks] {
+    fabric_.at(t_arr, [this, n, st] {
       const ProbeResult res = fabric_.caches[n]->probe(
-          r.line, ProbeOp::kInvalidate, fabric_.events->now());
+          st->r.line, ProbeOp::kInvalidate, fabric_.events->now());
       if (res.dirty()) {
-        st->t_data = send(n, r.from, MsgKind::kAckData,
+        st->t_data = send(n, st->r.from, MsgKind::kAckData,
                           noc::TrafficCause::kProbeAck, res.done);
         st->data_from_owner = true;
       }
       const Tick t_ack =
           send(n, node_, MsgKind::kAck, noc::TrafficCause::kProbeAck, res.done);
-      fabric_.at(t_ack, [this, st, on_all_acks] {
+      fabric_.at(t_ack, [this, st] {
         st->t_acks_done = std::max(st->t_acks_done, fabric_.events->now());
-        if (++st->acks == st->expected) on_all_acks();
+        if (++st->acks == st->expected) bcast_on_all_acks(st);
       });
     });
   }
+}
+
+void DirectoryController::bcast_on_all_acks(BcastState* st) {
+  const Request r = st->r;
+  pf_.update(r.line, PfState::kEM, r.from);
+  Tick t_end;
+  if (st->data_from_owner) {
+    // Line already flying to the requester; completion still waits for all
+    // acks, signalled with a control message.
+    const Tick t_cmpl = send(node_, r.from, MsgKind::kComplete,
+                             noc::TrafficCause::kResponse, st->t_acks_done);
+    t_end = std::max(st->t_data, t_cmpl);
+    grant_at(r, LineState::kModified, true, t_end);
+  } else if (r.has_line) {
+    const Tick t_cmpl = send(node_, r.from, MsgKind::kComplete,
+                             noc::TrafficCause::kResponse, st->t_acks_done);
+    t_end = t_cmpl;
+    grant_at(r, LineState::kModified, false, t_end);
+  } else {
+    Tick t_mem = st->t_mem;
+    if (!st->used_dram) {
+      // Tracked owner vanished without supplying data: defensive re-read.
+      ++stats_.anomalies;
+      t_mem = fabric_.drams[node_]->read(st->t_acks_done);
+    }
+    const Tick t_data =
+        send(node_, r.from, MsgKind::kData, noc::TrafficCause::kResponse,
+             std::max(t_mem, st->t_acks_done));
+    t_end = t_data;
+    grant_at(r, LineState::kModified, true, t_end);
+  }
+  bcast_pool_.release(st);
+  finish_at(r.line, t_end);
 }
 
 // --------------------------------------------------------------- PF miss ----
@@ -311,38 +302,11 @@ void DirectoryController::miss(const Request& r, Tick t) {
 
   // Allocation path: reserve the way up front (the line is busy, so the
   // placeholder entry is invisible until the transaction completes).
-  struct Miss {
-    Request r;
-    Tick t_victim_done = 0;
-    bool waiting_victim = false;
-    bool waiting_main = true;
-    Tick t_serve = 0;            ///< When data can leave its source.
-    NodeId data_src = 0;
-    MsgKind data_kind = MsgKind::kData;
-    noc::TrafficCause data_cause = noc::TrafficCause::kResponse;
-    LineState grant_state = LineState::kExclusive;
-    PfState final_state = PfState::kEM;
-    NodeId final_owner = kInvalidNode;
-  };
-  auto st = std::make_shared<Miss>();
+  MissState* st = miss_pool_.acquire();
   st->r = r;
   st->t_victim_done = t;
   st->data_src = node_;
   st->final_owner = r.from;
-
-  auto try_complete = [this, st] {
-    if (st->waiting_victim || st->waiting_main) return;
-    const LineAddr line = st->r.line;
-    if (const PfEntry* e = pf_.peek(line);
-        e && (e->state != st->final_state || e->owner != st->final_owner)) {
-      pf_.update(line, st->final_state, st->final_owner);
-    }
-    const Tick t_ready = std::max(st->t_serve, st->t_victim_done);
-    const Tick t_data =
-        send(st->data_src, st->r.from, st->data_kind, st->data_cause, t_ready);
-    grant_at(st->r, st->grant_state, true, t_data);
-    finish_at(line, t_data);
-  };
 
   if (!pf_.has_free_way(r.line)) {
     auto victim = pf_.displace_victim(
@@ -350,6 +314,7 @@ void DirectoryController::miss(const Request& r, Tick t) {
     if (!victim) {
       // Every way pinned by in-flight transactions: retry shortly.
       ++stats_.victim_stalls;
+      miss_pool_.release(st);
       fabric_.at(t + fabric_.config->probe_filter_latency * 8, [this, r] {
         miss(r, fabric_.events->now());
       });
@@ -357,15 +322,11 @@ void DirectoryController::miss(const Request& r, Tick t) {
     }
     if (fabric_.config->eviction_gates_reply) {
       st->waiting_victim = true;
-      run_eviction(*victim, t, [st, try_complete](Tick t_done) {
-        st->t_victim_done = t_done;
-        st->waiting_victim = false;
-        try_complete();
-      });
+      run_eviction(*victim, t, st);
     } else {
       // Eviction-buffer model: the victim invalidation drains in the
       // background; the reply does not wait for it.
-      run_eviction(*victim, t, [](Tick) {});
+      run_eviction(*victim, t, nullptr);
     }
   }
   pf_.insert(r.line, PfState::kEM, r.from);  // Placeholder, fixed on completion.
@@ -375,103 +336,105 @@ void DirectoryController::miss(const Request& r, Tick t) {
     st->grant_state = r.write ? LineState::kModified : LineState::kExclusive;
     st->t_serve = fabric_.drams[node_]->read(t);
     st->waiting_main = false;
-    try_complete();
+    miss_try_complete(st);
     return;
   }
 
   // ALLARM, remote requester: the home core may hold the line untracked.
   // Probe it; the speculative DRAM read proceeds in parallel (Section II-D).
-  log_trace("dir", node_, " ALLARM local probe line=", r.line, " for node ",
-            r.from);
+  ALLARM_LOG_TRACE("dir", node_, " ALLARM local probe line=", r.line,
+                   " for node ", r.from);
   ++stats_.remote_miss_probes;
-  const bool parallel = fabric_.config->allarm_parallel_local_probe;
-  const Tick t_mem_spec =
-      parallel ? fabric_.drams[node_]->read(t) : 0;
+  st->parallel_probe = fabric_.config->allarm_parallel_local_probe;
+  st->t_mem_spec = st->parallel_probe ? fabric_.drams[node_]->read(t) : 0;
   const Tick t_probe_arr = send(node_, node_, MsgKind::kLocalProbe,
                                 noc::TrafficCause::kProbe, t);
-  fabric_.at(t_probe_arr, [this, st, t_mem_spec, parallel, try_complete] {
-    const Request& r = st->r;
-    const ProbeResult res = fabric_.caches[node_]->probe(
-        r.line, r.write ? ProbeOp::kInvalidate : ProbeOp::kDowngrade,
-        fabric_.events->now());
-    const Tick t_probe_done = send(node_, node_, MsgKind::kAck,
-                                   noc::TrafficCause::kProbeAck, res.done);
-    if (!res.hit()) {
-      const Tick t_mem =
-          parallel ? t_mem_spec : fabric_.drams[node_]->read(t_probe_done);
-      if (parallel && t_probe_done <= t_mem) ++stats_.remote_miss_probe_hidden;
-      st->grant_state = r.write ? LineState::kModified : LineState::kExclusive;
-      st->t_serve = std::max(t_mem, t_probe_done);
-    } else {
-      // The home core held the line untracked: it supplies the data
-      // cache-to-cache; the speculative DRAM read is discarded.
-      ++stats_.remote_miss_probe_hit;
-      st->data_kind = MsgKind::kAckData;
-      st->data_cause = noc::TrafficCause::kProbeAck;
-      st->t_serve = res.done;
-      if (!r.write) {
-        st->grant_state = LineState::kShared;
-        if (res.dirty()) {
-          st->final_state = PfState::kOwned;
-          st->final_owner = node_;
-        } else {
-          st->final_state = PfState::kShared;
-          st->final_owner = kInvalidNode;
-        }
-      } else {
-        st->grant_state = LineState::kModified;  // Entry stays EM(requester).
-      }
+  fabric_.at(t_probe_arr, [this, st] { miss_local_probe_done(st); });
+}
+
+void DirectoryController::miss_local_probe_done(MissState* st) {
+  const Request& r = st->r;
+  const ProbeResult res = fabric_.caches[node_]->probe(
+      r.line, r.write ? ProbeOp::kInvalidate : ProbeOp::kDowngrade,
+      fabric_.events->now());
+  const Tick t_probe_done = send(node_, node_, MsgKind::kAck,
+                                 noc::TrafficCause::kProbeAck, res.done);
+  if (!res.hit()) {
+    const Tick t_mem = st->parallel_probe
+                           ? st->t_mem_spec
+                           : fabric_.drams[node_]->read(t_probe_done);
+    if (st->parallel_probe && t_probe_done <= t_mem) {
+      ++stats_.remote_miss_probe_hidden;
     }
-    st->waiting_main = false;
-    try_complete();
-  });
+    st->grant_state = r.write ? LineState::kModified : LineState::kExclusive;
+    st->t_serve = std::max(t_mem, t_probe_done);
+  } else {
+    // The home core held the line untracked: it supplies the data
+    // cache-to-cache; the speculative DRAM read is discarded.
+    ++stats_.remote_miss_probe_hit;
+    st->data_kind = MsgKind::kAckData;
+    st->data_cause = noc::TrafficCause::kProbeAck;
+    st->t_serve = res.done;
+    if (!r.write) {
+      st->grant_state = LineState::kShared;
+      if (res.dirty()) {
+        st->final_state = PfState::kOwned;
+        st->final_owner = node_;
+      } else {
+        st->final_state = PfState::kShared;
+        st->final_owner = kInvalidNode;
+      }
+    } else {
+      st->grant_state = LineState::kModified;  // Entry stays EM(requester).
+    }
+  }
+  st->waiting_main = false;
+  miss_try_complete(st);
+}
+
+void DirectoryController::miss_try_complete(MissState* st) {
+  if (st->waiting_victim || st->waiting_main) return;
+  const LineAddr line = st->r.line;
+  if (const PfEntry* e = pf_.peek(line);
+      e && (e->state != st->final_state || e->owner != st->final_owner)) {
+    pf_.update(line, st->final_state, st->final_owner);
+  }
+  const Tick t_ready = std::max(st->t_serve, st->t_victim_done);
+  const Tick t_data =
+      send(st->data_src, st->r.from, st->data_kind, st->data_cause, t_ready);
+  grant_at(st->r, st->grant_state, true, t_data);
+  miss_pool_.release(st);
+  finish_at(line, t_data);
 }
 
 // -------------------------------------------------------------- evictions ----
 
 void DirectoryController::run_eviction(const PfEntry& victim, Tick t,
-                                       std::function<void(Tick)> done) {
-  log_trace("dir", node_, " evicts entry line=", victim.line, " state=",
-            to_string(victim.state));
+                                       MissState* gated) {
+  ALLARM_LOG_TRACE("dir", node_, " evicts entry line=", victim.line,
+                   " state=", to_string(victim.state));
   ++stats_.pf_evictions;
   busy_.insert(victim.line);
 
-  struct Evict {
-    std::uint32_t expected = 0;
-    std::uint32_t acks = 0;
-    Tick t_latest = 0;
-    std::function<void(Tick)> done;
-  };
-  auto st = std::make_shared<Evict>();
-  st->done = std::move(done);
+  EvictState* st = evict_pool_.acquire();
+  st->line = victim.line;
+  st->gated = gated;
 
-  // EM entries have a known unique holder; Owned/Shared sharers are unknown
-  // under Hammer, so the invalidation broadcasts to every node.
-  std::vector<NodeId> targets;
-  if (victim.state == PfState::kEM) {
-    targets.push_back(victim.owner);
-  } else {
-    for (NodeId n = 0; n < fabric_.config->num_nodes(); ++n) {
-      targets.push_back(n);
-    }
-  }
-
-  const LineAddr line = victim.line;
-  for (const NodeId n : targets) {
+  auto probe_target = [this, t, st](NodeId n) {
     ++st->expected;
     const Tick t_arr =
         send(node_, n, MsgKind::kProbeInv, noc::TrafficCause::kEviction, t);
     ++stats_.eviction_messages;
-    fabric_.at(t_arr, [this, line, n, st] {
+    fabric_.at(t_arr, [this, n, st] {
       const ProbeResult res = fabric_.caches[n]->probe(
-          line, ProbeOp::kInvalidate, fabric_.events->now());
+          st->line, ProbeOp::kInvalidate, fabric_.events->now());
       if (res.hit()) ++stats_.eviction_lines_invalidated;
       const MsgKind ack_kind = res.dirty() ? MsgKind::kAckData : MsgKind::kAck;
       const bool dirty = res.dirty();
       const Tick t_ack = send(n, node_, ack_kind,
                               noc::TrafficCause::kEvictionAck, res.done);
       ++stats_.eviction_messages;
-      fabric_.at(t_ack, [this, line, dirty, st] {
+      fabric_.at(t_ack, [this, dirty, st] {
         const Tick now = fabric_.events->now();
         if (dirty) {
           fabric_.drams[node_]->write(now);
@@ -479,11 +442,29 @@ void DirectoryController::run_eviction(const PfEntry& victim, Tick t,
         }
         st->t_latest = std::max(st->t_latest, now);
         if (++st->acks == st->expected) {
+          const LineAddr line = st->line;
+          const Tick t_latest = st->t_latest;
+          MissState* gated_miss = st->gated;
+          evict_pool_.release(st);
           release_and_drain(line);
-          st->done(st->t_latest);
+          if (gated_miss != nullptr) {
+            gated_miss->t_victim_done = t_latest;
+            gated_miss->waiting_victim = false;
+            miss_try_complete(gated_miss);
+          }
         }
       });
     });
+  };
+
+  // EM entries have a known unique holder; Owned/Shared sharers are unknown
+  // under Hammer, so the invalidation broadcasts to every node.
+  if (victim.state == PfState::kEM) {
+    probe_target(victim.owner);
+  } else {
+    for (NodeId n = 0; n < fabric_.config->num_nodes(); ++n) {
+      probe_target(n);
+    }
   }
 }
 
@@ -532,6 +513,9 @@ void DirectoryController::clear() {
   pf_.clear();
   busy_.clear();
   waiting_.clear();
+  miss_pool_.reclaim_all();
+  bcast_pool_.reclaim_all();
+  evict_pool_.reclaim_all();
 }
 
 }  // namespace allarm::coherence

@@ -28,18 +28,16 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
-#include <functional>
-#include <memory>
-#include <unordered_map>
-#include <unordered_set>
 #include <variant>
+#include <vector>
 
 #include "cache/cache.hh"
 #include "coherence/fabric.hh"
 #include "coherence/messages.hh"
 #include "coherence/probe_filter.hh"
 #include "common/config.hh"
+#include "common/flat_map.hh"
+#include "common/pool.hh"
 
 namespace allarm::coherence {
 
@@ -104,6 +102,69 @@ class DirectoryController {
  private:
   using QueuedOp = std::variant<Request, Put>;
 
+  /// FIFO of operations waiting on a busy line.  A vector plus head index
+  /// rather than std::deque: default construction is allocation-free, so
+  /// FlatMap slots holding queues cost nothing until a line actually
+  /// contends, and the buffer is reused across drain cycles.
+  struct OpQueue {
+    std::vector<QueuedOp> ops;
+    std::size_t head = 0;
+
+    bool empty() const { return head == ops.size(); }
+    void push(QueuedOp op) { ops.push_back(std::move(op)); }
+    QueuedOp pop() {
+      QueuedOp op = std::move(ops[head]);
+      if (++head == ops.size()) {
+        ops.clear();
+        head = 0;
+      }
+      return op;
+    }
+  };
+
+  // --- In-flight transaction state -----------------------------------------
+  // One block per transaction, acquired from a free-list pool and released
+  // when the transaction completes.  Scheduled closures capture only
+  // {this, block pointer}, so every event fits the kernel's inline storage.
+
+  /// An allocating PF miss (the main request path).
+  struct MissState {
+    Request r{};
+    Tick t_victim_done = 0;
+    bool waiting_victim = false;
+    bool waiting_main = true;
+    bool parallel_probe = false;  ///< ALLARM: speculative DRAM read issued.
+    Tick t_mem_spec = 0;          ///< Completion of the speculative read.
+    Tick t_serve = 0;             ///< When data can leave its source.
+    NodeId data_src = 0;
+    MsgKind data_kind = MsgKind::kData;
+    noc::TrafficCause data_cause = noc::TrafficCause::kResponse;
+    cache::LineState grant_state = cache::LineState::kExclusive;
+    PfState final_state = PfState::kEM;
+    NodeId final_owner = kInvalidNode;
+  };
+
+  /// A Hammer invalidation broadcast (GetM against an Owned/Shared entry).
+  struct BcastState {
+    Request r{};
+    std::uint32_t expected = 0;
+    std::uint32_t acks = 0;
+    Tick t_acks_done = 0;
+    Tick t_data = 0;
+    bool data_from_owner = false;
+    Tick t_mem = 0;      ///< Speculative DRAM read (requester lacks data).
+    bool used_dram = false;
+  };
+
+  /// A probe-filter victim invalidation flow.
+  struct EvictState {
+    LineAddr line = 0;
+    std::uint32_t expected = 0;
+    std::uint32_t acks = 0;
+    Tick t_latest = 0;
+    MissState* gated = nullptr;  ///< Miss whose reply waits on this victim.
+  };
+
   // --- Plumbing -------------------------------------------------------------
   Tick send(NodeId src, NodeId dst, MsgKind kind, noc::TrafficCause cause,
             Tick when);
@@ -119,12 +180,17 @@ class DirectoryController {
   void hit_gets(const Request& r, PfEntry& entry, Tick t);
   void hit_getm(const Request& r, PfEntry& entry, Tick t);
   void hit_getm_broadcast(const Request& r, PfEntry& entry, Tick t);
+  void bcast_on_all_acks(BcastState* st);
   void miss(const Request& r, Tick t);
+  void miss_local_probe_done(MissState* st);
+  /// Completes the miss once neither the victim flow nor the main data
+  /// path is outstanding; releases the state block.
+  void miss_try_complete(MissState* st);
 
-  /// Directory-side eviction of `victim`; `done(t)` fires when every ack has
-  /// been collected.  Marks the victim line busy for the duration.
-  void run_eviction(const PfEntry& victim, Tick t,
-                    std::function<void(Tick)> done);
+  /// Directory-side eviction of `victim`.  When `gated` is non-null, that
+  /// miss's reply waits for the last invalidation ack.  Marks the victim
+  /// line busy for the duration.
+  void run_eviction(const PfEntry& victim, Tick t, MissState* gated);
 
   void process_put(const Put& p, Tick now);
 
@@ -135,8 +201,11 @@ class DirectoryController {
   DirectoryMode mode_;
   ProbeFilter pf_;
   DirectoryStats stats_;
-  std::unordered_set<LineAddr> busy_;
-  std::unordered_map<LineAddr, std::deque<QueuedOp>> waiting_;
+  FlatSet<LineAddr> busy_;
+  FlatMap<LineAddr, OpQueue> waiting_;
+  Pool<MissState> miss_pool_;
+  Pool<BcastState> bcast_pool_;
+  Pool<EvictState> evict_pool_;
 };
 
 }  // namespace allarm::coherence

@@ -35,9 +35,12 @@ struct Fabric {
   /// ALLARM enable ranges (Section II-C). Null means "always active".
   const numa::RangeRegisters* allarm_ranges = nullptr;
 
-  /// Convenience: schedules `fn` at absolute time `when`.
-  void at(Tick when, std::function<void()> fn) const {
-    events->schedule_at(when, std::move(fn));
+  /// Convenience: schedules `fn` at absolute time `when`.  Forwards the
+  /// callable straight into the event kernel's inline storage -- no
+  /// std::function indirection on the hot path.
+  template <typename F>
+  void at(Tick when, F&& fn) const {
+    events->schedule_at(when, std::forward<F>(fn));
   }
 
   /// True when ALLARM is active for this physical line address.

@@ -63,7 +63,7 @@ bool ProbeFilter::has_free_way(LineAddr line) const {
 }
 
 std::optional<PfEntry> ProbeFilter::displace_victim(
-    LineAddr line, const std::function<bool(LineAddr)>& pinned) {
+    LineAddr line, FunctionRef<bool(LineAddr)> pinned) {
   const std::uint32_t set = set_of(line);
   PfEntry* base = &entries_[static_cast<std::size_t>(set) * ways_];
   // Deployed sparse directories prefer clean Shared victims: their
@@ -95,22 +95,25 @@ void ProbeFilter::insert(LineAddr line, PfState state, NodeId owner) {
   if (state == PfState::kInvalid) {
     throw std::invalid_argument("ProbeFilter::insert: invalid state");
   }
-  if (find(line)) {
-    throw std::logic_error("ProbeFilter::insert: line already tracked");
-  }
   const std::uint32_t set = set_of(line);
   PfEntry* base = &entries_[static_cast<std::size_t>(set) * ways_];
+  // One scan: find the first free way while guarding against duplicates.
+  std::uint32_t free_way = ways_;
   for (std::uint32_t w = 0; w < ways_; ++w) {
     if (!base[w].valid()) {
-      base[w] = PfEntry{line, state, owner};
-      policy_->touch(set, w);
-      ++occupancy_;
-      ++stats_.writes;
-      ++stats_.inserts;
-      return;
+      if (free_way == ways_) free_way = w;
+    } else if (base[w].line == line) {
+      throw std::logic_error("ProbeFilter::insert: line already tracked");
     }
   }
-  throw std::logic_error("ProbeFilter::insert: no free way (reserve first)");
+  if (free_way == ways_) {
+    throw std::logic_error("ProbeFilter::insert: no free way (reserve first)");
+  }
+  base[free_way] = PfEntry{line, state, owner};
+  policy_->touch(set, free_way);
+  ++occupancy_;
+  ++stats_.writes;
+  ++stats_.inserts;
 }
 
 bool ProbeFilter::erase(LineAddr line) {
@@ -130,8 +133,7 @@ void ProbeFilter::update(LineAddr line, PfState state, NodeId owner) {
   ++stats_.writes;
 }
 
-void ProbeFilter::for_each(
-    const std::function<void(const PfEntry&)>& fn) const {
+void ProbeFilter::for_each(FunctionRef<void(const PfEntry&)> fn) const {
   for (const PfEntry& e : entries_) {
     if (e.valid()) fn(e);
   }

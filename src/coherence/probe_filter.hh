@@ -11,7 +11,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -19,6 +18,7 @@
 
 #include "cache/replacement.hh"
 #include "common/config.hh"
+#include "common/function_ref.hh"
 #include "common/types.hh"
 
 namespace allarm::coherence {
@@ -74,9 +74,10 @@ class ProbeFilter {
   /// Picks the replacement victim in `line`'s set, skipping entries for
   /// which `pinned(entry.line)` is true (lines with in-flight transactions),
   /// removes it from the filter and returns it.  Returns std::nullopt when
-  /// every way is pinned.
-  std::optional<PfEntry> displace_victim(
-      LineAddr line, const std::function<bool(LineAddr)>& pinned);
+  /// every way is pinned.  The predicate is borrowed for the call only (it
+  /// runs once per miss, so no std::function is materialized).
+  std::optional<PfEntry> displace_victim(LineAddr line,
+                                         FunctionRef<bool(LineAddr)> pinned);
 
   /// Installs an entry; the set must have a free way.
   void insert(LineAddr line, PfState state, NodeId owner);
@@ -88,7 +89,7 @@ class ProbeFilter {
   void update(LineAddr line, PfState state, NodeId owner);
 
   /// Applies `fn` to every valid entry.
-  void for_each(const std::function<void(const PfEntry&)>& fn) const;
+  void for_each(FunctionRef<void(const PfEntry&)> fn) const;
 
   const ProbeFilterStats& stats() const { return stats_; }
 

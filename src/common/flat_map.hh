@@ -1,0 +1,210 @@
+// Open-addressing hash containers for the simulator's hot lookup paths.
+//
+// std::unordered_{map,set} pay a node allocation per insert and a pointer
+// chase per lookup; the coherence serialization path (the directory's busy
+// set and waiting map) and the OS page table do these lookups per miss and
+// per access.  FlatMap/FlatSet store slots contiguously: linear probing,
+// power-of-two capacity, tombstoned erase with probe-chain reuse, and a
+// 64-bit finalizer mix applied on top of the user hash so that identity
+// hashes (std::hash on integers) still spread across the table.
+//
+// Deliberately minimal: pointer-yielding find (no iterator machinery), no
+// iteration order guarantees exposed at all -- callers that need to walk
+// entries should not be using these containers, which keeps accidental
+// order-dependence (and thus nondeterminism) out of simulation results.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace allarm {
+
+namespace detail {
+
+/// splitmix64 finalizer: bijective avalanche over the raw hash value.
+inline std::size_t flat_hash_mix(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return static_cast<std::size_t>(x);
+}
+
+enum class SlotState : std::uint8_t { kEmpty = 0, kFull, kTombstone };
+
+}  // namespace detail
+
+/// Open-addressing hash map.  `Key` and `T` must be movable;
+/// `Hash(key)` feeds the mix above.
+template <typename Key, typename T, typename Hash = std::hash<Key>>
+class FlatMap {
+ public:
+  FlatMap() = default;
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Pointer to the mapped value, or nullptr when absent.
+  T* find(const Key& key) {
+    if (size_ == 0) return nullptr;
+    const std::size_t slot = locate(key);
+    return slot == kNotFound ? nullptr : &slots_[slot].value;
+  }
+  const T* find(const Key& key) const {
+    return const_cast<FlatMap*>(this)->find(key);
+  }
+
+  std::size_t count(const Key& key) const { return find(key) ? 1 : 0; }
+
+  /// Inserts a value-initialized mapped value when absent.
+  T& operator[](const Key& key) { return *try_emplace(key).first; }
+
+  /// Returns (pointer to mapped value, true when newly inserted).
+  template <typename... Args>
+  std::pair<T*, bool> try_emplace(const Key& key, Args&&... args) {
+    reserve_for_insert();
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t slot = detail::flat_hash_mix(Hash{}(key)) & mask;
+    std::size_t insert_at = kNotFound;
+    while (true) {
+      Slot& s = slots_[slot];
+      if (s.state == detail::SlotState::kEmpty) {
+        if (insert_at == kNotFound) insert_at = slot;
+        break;
+      }
+      if (s.state == detail::SlotState::kTombstone) {
+        // Remember the first reusable hole but keep probing: the key may
+        // live further down the chain.
+        if (insert_at == kNotFound) insert_at = slot;
+      } else if (s.key == key) {
+        return {&s.value, false};
+      }
+      slot = (slot + 1) & mask;
+    }
+    // Every slot holds a live (default-constructed) value, so insertion is
+    // an assignment, not a construction.
+    Slot& s = slots_[insert_at];
+    if (s.state == detail::SlotState::kTombstone) --tombstones_;
+    s.key = key;
+    s.value = T(std::forward<Args>(args)...);
+    s.state = detail::SlotState::kFull;
+    ++size_;
+    return {&s.value, true};
+  }
+
+  /// Removes `key`; returns false when absent.
+  bool erase(const Key& key) {
+    if (size_ == 0) return false;
+    const std::size_t slot = locate(key);
+    if (slot == kNotFound) return false;
+    slots_[slot].value = T();  // Release held resources (e.g. deque buffers).
+    slots_[slot].state = detail::SlotState::kTombstone;
+    --size_;
+    ++tombstones_;
+    return true;
+  }
+
+  /// Drops every entry, keeping the table capacity.
+  void clear() {
+    for (Slot& s : slots_) {
+      if (s.state == detail::SlotState::kFull) {
+        s.value = T();
+      }
+      s.state = detail::SlotState::kEmpty;
+    }
+    size_ = 0;
+    tombstones_ = 0;
+  }
+
+  /// Grows the table so `n` entries fit without rehash.
+  void reserve(std::size_t n) {
+    std::size_t cap = kMinCapacity;
+    while (cap * 7 < n * 8) cap <<= 1;
+    if (cap > slots_.size()) rehash(cap);
+  }
+
+  /// Current slot count (tests: pins rehash/tombstone behaviour).
+  std::size_t capacity() const { return slots_.size(); }
+
+ private:
+  struct Slot {
+    Key key{};
+    T value{};
+    detail::SlotState state = detail::SlotState::kEmpty;
+  };
+
+  static constexpr std::size_t kNotFound = ~std::size_t{0};
+  static constexpr std::size_t kMinCapacity = 16;
+
+  std::size_t locate(const Key& key) const {
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t slot = detail::flat_hash_mix(Hash{}(key)) & mask;
+    while (true) {
+      const Slot& s = slots_[slot];
+      if (s.state == detail::SlotState::kEmpty) return kNotFound;
+      if (s.state == detail::SlotState::kFull && s.key == key) return slot;
+      slot = (slot + 1) & mask;
+    }
+  }
+
+  void reserve_for_insert() {
+    if (slots_.empty()) {
+      rehash(kMinCapacity);
+      return;
+    }
+    // Keep (live + tombstone) occupancy under 7/8 so probe chains stay
+    // short.  Rehashing discards tombstones.
+    if ((size_ + tombstones_ + 1) * 8 >= slots_.size() * 7) {
+      rehash(size_ * 8 >= slots_.size() * 7 ? slots_.size() * 2
+                                            : slots_.size());
+    }
+  }
+
+  void rehash(std::size_t new_capacity) {
+    std::vector<Slot> old = std::move(slots_);
+    slots_ = std::vector<Slot>(new_capacity);
+    size_ = 0;
+    tombstones_ = 0;
+    const std::size_t mask = new_capacity - 1;
+    for (Slot& s : old) {
+      if (s.state != detail::SlotState::kFull) continue;
+      std::size_t slot = detail::flat_hash_mix(Hash{}(s.key)) & mask;
+      while (slots_[slot].state == detail::SlotState::kFull) {
+        slot = (slot + 1) & mask;
+      }
+      slots_[slot].key = std::move(s.key);
+      slots_[slot].value = std::move(s.value);
+      slots_[slot].state = detail::SlotState::kFull;
+      ++size_;
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t size_ = 0;
+  std::size_t tombstones_ = 0;
+};
+
+/// Open-addressing hash set over the same table machinery.
+template <typename Key, typename Hash = std::hash<Key>>
+class FlatSet {
+ public:
+  std::size_t size() const { return map_.size(); }
+  bool empty() const { return map_.empty(); }
+  std::size_t count(const Key& key) const { return map_.count(key); }
+
+  /// Returns true when newly inserted.
+  bool insert(const Key& key) { return map_.try_emplace(key).second; }
+  bool erase(const Key& key) { return map_.erase(key); }
+  void clear() { map_.clear(); }
+  void reserve(std::size_t n) { map_.reserve(n); }
+
+ private:
+  struct Empty {};
+  FlatMap<Key, Empty, Hash> map_;
+};
+
+}  // namespace allarm

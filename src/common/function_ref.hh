@@ -1,0 +1,46 @@
+// A lightweight non-owning callable reference (the proposed
+// std::function_ref, reduced to what the simulator needs).
+//
+// Taking `const std::function<...>&` in an API forces every caller passing
+// a lambda to materialize a std::function first -- a potential heap
+// allocation per call on paths like the per-miss pinned-predicate check in
+// ProbeFilter::displace_victim.  FunctionRef is two words (object pointer +
+// thunk), never allocates and never owns: the referenced callable must
+// outlive the call, which holds trivially for the "pass a lambda down one
+// call" uses here.
+#pragma once
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace allarm {
+
+template <typename Signature>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, FunctionRef> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  FunctionRef(F&& fn) noexcept  // NOLINT: implicit by design.
+      : obj_(const_cast<void*>(
+            static_cast<const void*>(std::addressof(fn)))),
+        call_([](void* obj, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<F>*>(obj))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const {
+    return call_(obj_, std::forward<Args>(args)...);
+  }
+
+ private:
+  void* obj_;
+  R (*call_)(void*, Args...);
+};
+
+}  // namespace allarm

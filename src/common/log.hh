@@ -46,6 +46,19 @@ void log_at(LogLevel level, const Args&... args) {
 }
 
 template <typename... Args> void log_trace(const Args&... a) { log_at(LogLevel::kTrace, a...); }
+
+/// Hot-path trace logging.  Unlike a plain log_trace(...) call, the
+/// argument expressions are NOT evaluated when tracing is disabled -- a
+/// `to_string(kind)` argument would otherwise construct a std::string on
+/// every event even though the line is dropped.  Use this form in
+/// per-event code (directory, cache controller); plain log_* is fine on
+/// cold paths.
+#define ALLARM_LOG_TRACE(...)                                        \
+  do {                                                               \
+    if (::allarm::Log::enabled(::allarm::LogLevel::kTrace)) {        \
+      ::allarm::log_trace(__VA_ARGS__);                              \
+    }                                                                \
+  } while (0)
 template <typename... Args> void log_debug(const Args&... a) { log_at(LogLevel::kDebug, a...); }
 template <typename... Args> void log_info(const Args&... a)  { log_at(LogLevel::kInfo, a...); }
 template <typename... Args> void log_warn(const Args&... a)  { log_at(LogLevel::kWarn, a...); }

@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <stdexcept>
-#include <unordered_map>
 
+#include "common/flat_map.hh"
 #include "common/log.hh"
 
 namespace allarm::core {
@@ -17,6 +17,7 @@ struct System::ThreadRuntime {
   std::unique_ptr<workload::AccessGenerator> generator;
   Rng rng{0};
   std::uint64_t remaining = 0;
+  NodeId node = kInvalidNode;  ///< Current placement (mirrors the OS map).
   bool in_warmup = false;
   Tick crossed_warmup_at = 0;  ///< When this thread entered its ROI.
   Tick finished_at = 0;
@@ -78,7 +79,7 @@ void System::issue_next(ThreadRuntime& thread) {
     --threads_running_;
     return;
   }
-  const NodeId node = os_.node_of_thread(thread.spec.id);
+  const NodeId node = thread.node;
   if (caches_[node]->busy_with_core_request()) {
     // Another thread currently occupies this core (possible after a
     // migration): timeshare by retrying once the pipeline drains.
@@ -109,27 +110,28 @@ void System::issue_next(ThreadRuntime& thread) {
 
 void System::schedule_migrations(const RunOptions& options) {
   if (options.migration_interval == 0) return;
-  const Tick interval = options.migration_interval;
-  auto tick = std::make_shared<std::function<void()>>();
-  *tick = [this, interval, tick] {
-    if (threads_running_ == 0) return;
-    // Pick a running thread and move it to a random other node.
-    std::vector<ThreadRuntime*> running;
-    for (auto& t : threads_) {
-      if (t->remaining > 0) running.push_back(t.get());
-    }
-    if (!running.empty()) {
-      ThreadRuntime* victim =
-          running[migration_rng_.below(running.size())];
-      const NodeId cur = os_.node_of_thread(victim->spec.id);
-      NodeId dst = static_cast<NodeId>(
-          migration_rng_.below(config_.num_nodes()));
-      if (dst == cur) dst = static_cast<NodeId>((dst + 1) % config_.num_nodes());
-      os_.migrate_thread(victim->spec.id, dst);
-    }
-    events_.schedule_in(interval, *tick);
-  };
-  events_.schedule_in(interval, *tick);
+  migration_interval_ = options.migration_interval;
+  events_.schedule_in(migration_interval_, [this] { migration_tick(); });
+}
+
+void System::migration_tick() {
+  if (threads_running_ == 0) return;
+  // Pick a running thread and move it to a random other node.
+  migration_scratch_.clear();
+  for (auto& t : threads_) {
+    if (t->remaining > 0) migration_scratch_.push_back(t.get());
+  }
+  if (!migration_scratch_.empty()) {
+    ThreadRuntime* victim =
+        migration_scratch_[migration_rng_.below(migration_scratch_.size())];
+    const NodeId cur = victim->node;
+    NodeId dst = static_cast<NodeId>(
+        migration_rng_.below(config_.num_nodes()));
+    if (dst == cur) dst = static_cast<NodeId>((dst + 1) % config_.num_nodes());
+    os_.migrate_thread(victim->spec.id, dst);
+    victim->node = dst;
+  }
+  events_.schedule_in(migration_interval_, [this] { migration_tick(); });
 }
 
 RunResult System::run(const workload::WorkloadSpec& spec,
@@ -148,6 +150,7 @@ RunResult System::run(const workload::WorkloadSpec& spec,
     rt->generator = ts.make_generator();
     rt->rng = Rng(seeder.next() ^ (ts.id * 0x9e3779b9ull));
     rt->remaining = ts.warmup_accesses + ts.accesses;
+    rt->node = ts.node;
     rt->in_warmup = ts.warmup_accesses > 0;
     if (rt->in_warmup) ++threads_in_warmup_;
     os_.place_thread(ts.id, ts.node);
@@ -195,48 +198,78 @@ bool System::quiescent() const {
 }
 
 void System::check_invariants(bool strict) const {
+  // Gather every cached (line, node, state) triple into one flat vector and
+  // sort-group it by line: no per-line container allocations even when the
+  // periodic checker runs inside the measured region.
   struct Holder {
+    LineAddr line;
     NodeId node;
     LineState state;
   };
-  std::unordered_map<LineAddr, std::vector<Holder>> held;
+  std::vector<Holder> held;
   for (NodeId n = 0; n < config_.num_nodes(); ++n) {
     caches_[n]->hierarchy().for_each([&held, n](LineAddr line, LineState s) {
-      held[line].push_back(Holder{n, s});
+      held.push_back(Holder{line, n, s});
     });
   }
+  // Stable: holders of one line keep their node-major discovery order (the
+  // per-line duplicate check below relies on equal nodes being adjacent).
+  std::stable_sort(held.begin(), held.end(),
+                   [](const Holder& a, const Holder& b) {
+                     return a.line < b.line;
+                   });
 
   auto fail = [](const std::string& what, LineAddr line) {
     throw std::logic_error("invariant violation: " + what + " (line " +
                            std::to_string(line) + ")");
   };
 
-  for (const auto& [line, holders] : held) {
+  // Group index for the strict phase: line -> [begin, end) in `held`.
+  // Only populated under strict -- the periodic (non-strict) checker runs
+  // inside the measured region and must stay allocation-light.
+  FlatMap<LineAddr, std::pair<std::uint32_t, std::uint32_t>> groups;
+  if (strict) groups.reserve(held.size());
+
+  for (std::size_t begin = 0; begin < held.size();) {
+    const LineAddr line = held[begin].line;
+    std::size_t end = begin;
+    while (end < held.size() && held[end].line == line) ++end;
+    if (strict) {
+      groups.try_emplace(line, static_cast<std::uint32_t>(begin),
+                         static_cast<std::uint32_t>(end));
+    }
+
     int m = 0, e = 0, o = 0;
-    std::unordered_map<NodeId, int> per_node;
-    for (const Holder& h : holders) {
-      if (++per_node[h.node] > 1) fail("line duplicated within a node", line);
+    for (std::size_t i = begin; i < end; ++i) {
+      const Holder& h = held[i];
+      if (i > begin && held[i - 1].node == h.node) {
+        fail("line duplicated within a node", line);
+      }
       if (h.state == LineState::kModified) ++m;
       if (h.state == LineState::kExclusive) ++e;
       if (h.state == LineState::kOwned) ++o;
     }
-    if (m + e > 0 && holders.size() != 1) {
+    if (m + e > 0 && end - begin != 1) {
       fail("M/E copy coexists with another copy", line);
     }
     if (o > 1) fail("multiple Owned copies", line);
 
     // Directory coverage.
     const NodeId home = os_.home_of(addr_of_line(line));
-    if (dirs_[home]->line_busy(line)) continue;  // Mid-transaction.
-    const PfEntry* entry = dirs_[home]->probe_filter().peek(line);
-    if (entry == nullptr) {
-      const bool allarm = dirs_[home]->mode() == DirectoryMode::kAllarm &&
-                          ranges_.active(addr_of_line(line));
-      if (!allarm) fail("cached line untracked under baseline", line);
-      for (const Holder& h : holders) {
-        if (h.node != home) fail("remote cached line untracked under ALLARM", line);
+    if (!dirs_[home]->line_busy(line)) {  // Otherwise mid-transaction.
+      const PfEntry* entry = dirs_[home]->probe_filter().peek(line);
+      if (entry == nullptr) {
+        const bool allarm = dirs_[home]->mode() == DirectoryMode::kAllarm &&
+                            ranges_.active(addr_of_line(line));
+        if (!allarm) fail("cached line untracked under baseline", line);
+        for (std::size_t i = begin; i < end; ++i) {
+          if (held[i].node != home) {
+            fail("remote cached line untracked under ALLARM", line);
+          }
+        }
       }
     }
+    begin = end;
   }
 
   if (!strict) return;
@@ -245,21 +278,23 @@ void System::check_invariants(bool strict) const {
   for (NodeId h = 0; h < config_.num_nodes(); ++h) {
     dirs_[h]->probe_filter().for_each([&](const PfEntry& entry) {
       if (dirs_[h]->line_busy(entry.line)) return;
-      const auto it = held.find(entry.line);
-      const auto holders =
-          it == held.end() ? std::vector<Holder>{} : it->second;
+      const auto* range = groups.find(entry.line);
+      const std::uint32_t begin = range ? range->first : 0;
+      const std::uint32_t end = range ? range->second : 0;
+      const std::uint32_t count = end - begin;
       switch (entry.state) {
         case PfState::kEM: {
-          if (holders.size() != 1 || holders[0].node != entry.owner ||
-              (holders[0].state != LineState::kModified &&
-               holders[0].state != LineState::kExclusive)) {
+          if (count != 1 || held[begin].node != entry.owner ||
+              (held[begin].state != LineState::kModified &&
+               held[begin].state != LineState::kExclusive)) {
             fail("EM entry does not match a sole M/E holder", entry.line);
           }
           break;
         }
         case PfState::kOwned: {
           bool owner_ok = false;
-          for (const Holder& hh : holders) {
+          for (std::uint32_t i = begin; i < end; ++i) {
+            const Holder& hh = held[i];
             if (hh.node == entry.owner) {
               owner_ok = hh.state == LineState::kOwned;
             } else if (hh.state != LineState::kShared) {
@@ -270,8 +305,8 @@ void System::check_invariants(bool strict) const {
           break;
         }
         case PfState::kShared: {
-          for (const Holder& hh : holders) {
-            if (hh.state != LineState::kShared) {
+          for (std::uint32_t i = begin; i < end; ++i) {
+            if (held[i].state != LineState::kShared) {
               fail("non-Shared holder under Shared entry", entry.line);
             }
           }

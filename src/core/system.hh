@@ -86,6 +86,8 @@ class System {
 
   void issue_next(ThreadRuntime& thread);
   void schedule_migrations(const RunOptions& options);
+  /// One periodic migration step; reschedules itself while threads run.
+  void migration_tick();
   StatSet collect_stats(Tick runtime) const;
 
   SystemConfig config_;
@@ -100,6 +102,10 @@ class System {
   energy::EnergyModel energy_;
 
   std::vector<std::unique_ptr<ThreadRuntime>> threads_;
+  Tick migration_interval_ = 0;
+  /// Scratch for migration_tick's running-thread census (reused across
+  /// ticks instead of reallocating a vector per migration interval).
+  std::vector<ThreadRuntime*> migration_scratch_;
   std::uint32_t threads_running_ = 0;
   std::uint32_t threads_in_warmup_ = 0;
   Tick roi_start_ = 0;

@@ -44,25 +44,6 @@ std::uint32_t Mesh::hops(NodeId src, NodeId dst) const {
   return static_cast<std::uint32_t>(std::abs(dx) + std::abs(dy));
 }
 
-void Mesh::route(NodeId src, NodeId dst,
-                 std::vector<std::uint32_t>& out) const {
-  // Dimension-order (XY) routing: travel along X first, then along Y.
-  std::uint32_t x = x_of(src);
-  std::uint32_t y = y_of(src);
-  const std::uint32_t tx = x_of(dst);
-  const std::uint32_t ty = y_of(dst);
-  while (x != tx) {
-    const Direction d = (x < tx) ? kEast : kWest;
-    out.push_back(link_id(node_at(x, y), d));
-    x = (x < tx) ? x + 1 : x - 1;
-  }
-  while (y != ty) {
-    const Direction d = (y < ty) ? kSouth : kNorth;
-    out.push_back(link_id(node_at(x, y), d));
-    y = (y < ty) ? y + 1 : y - 1;
-  }
-}
-
 Tick Mesh::send(NodeId src, NodeId dst, std::uint32_t bytes, Tick now,
                 TrafficCause cause) {
   if (src >= num_nodes() || dst >= num_nodes()) {
@@ -76,25 +57,39 @@ Tick Mesh::send(NodeId src, NodeId dst, std::uint32_t bytes, Tick now,
   const std::uint32_t flits = flits_for(bytes);
   const Tick serialization = static_cast<Tick>(flits) * flit_time_;
 
-  route_scratch_.clear();
-  route(src, dst, route_scratch_);
-
-  // Head traversal with per-link queueing.  Each hop: wait for the link,
-  // occupy it for the serialization time, then pay wire + router latency.
+  // Head traversal with per-link queueing, walking the XY route in place
+  // (no materialized link list).  Each hop: wait for the link, occupy it
+  // for the serialization time, then pay wire + router latency.
   Tick t = now + router_latency_;  // Injection through the source router.
-  for (const std::uint32_t link : route_scratch_) {
+  std::uint32_t hop_count = 0;
+  const auto traverse = [&](std::uint32_t link) {
     const Tick start = std::max(t, link_free_[link]);
     link_free_[link] = start + serialization;
     link_busy_[link] += serialization;
     t = start + serialization + link_latency_ + router_latency_;
+    ++hop_count;
+  };
+  std::uint32_t x = x_of(src);
+  std::uint32_t y = y_of(src);
+  const std::uint32_t tx = x_of(dst);
+  const std::uint32_t ty = y_of(dst);
+  while (x != tx) {  // Dimension-order (XY) routing: X first, then Y.
+    const Direction d = (x < tx) ? kEast : kWest;
+    traverse(link_id(node_at(x, y), d));
+    x = (x < tx) ? x + 1 : x - 1;
+  }
+  while (y != ty) {
+    const Direction d = (y < ty) ? kSouth : kNorth;
+    traverse(link_id(node_at(x, y), d));
+    y = (y < ty) ? y + 1 : y - 1;
   }
 
   const auto c = static_cast<std::size_t>(cause);
   ++stats_.messages;
   if (bytes <= control_bytes_) ++stats_.control_messages; else ++stats_.data_messages;
   stats_.bytes += bytes;
-  stats_.flit_hops += static_cast<std::uint64_t>(flits) * route_scratch_.size();
-  stats_.router_crossings += route_scratch_.size() + 1;
+  stats_.flit_hops += static_cast<std::uint64_t>(flits) * hop_count;
+  stats_.router_crossings += hop_count + 1;
   stats_.bytes_by_cause[c] += bytes;
   ++stats_.msgs_by_cause[c];
   return t;

@@ -90,9 +90,6 @@ class Mesh {
     return from * 4 + d;
   }
 
-  /// Appends the directed links of the XY route from src to dst.
-  void route(NodeId src, NodeId dst, std::vector<std::uint32_t>& out) const;
-
   std::uint32_t flits_for(std::uint32_t bytes) const {
     return (bytes + flit_bytes_ - 1) / flit_bytes_;
   }
@@ -109,7 +106,6 @@ class Mesh {
   std::vector<Tick> link_free_;   ///< Next-free time per directed link.
   std::vector<Tick> link_busy_;   ///< Accumulated busy time per link.
   NocStats stats_;
-  mutable std::vector<std::uint32_t> route_scratch_;
 };
 
 }  // namespace allarm::noc

@@ -77,6 +77,12 @@ Os::Os(const SystemConfig& config, AllocPolicy policy)
       dram_bytes_per_node_(config.dram_bytes_per_node()),
       policy_(policy),
       frames_(config.num_nodes(), config.dram_bytes_per_node() / kPageBytes) {
+  if (dram_bytes_per_node_ != 0 &&
+      (dram_bytes_per_node_ & (dram_bytes_per_node_ - 1)) == 0) {
+    unsigned shift = 0;
+    while ((std::uint64_t{1} << shift) < dram_bytes_per_node_) ++shift;
+    home_shift_ = shift;
+  }
   // Precompute per-node spill orders: self, then nearest by mesh distance.
   spill_orders_.resize(num_nodes_);
   for (NodeId n = 0; n < num_nodes_; ++n) {
@@ -119,31 +125,32 @@ PageNum Os::allocate_frame(PageNum vpage, NodeId toucher) {
 Addr Os::touch(AddressSpaceId asid, Addr vaddr, NodeId node) {
   const bool kernel = vaddr >= kKernelSpaceBase;
   const PageKey key{kernel ? kKernelAsid : asid, page_of(vaddr)};
-  auto it = page_table_.find(key);
-  if (it == page_table_.end()) {
+  const PageNum* frame = page_table_.find(key);
+  if (frame == nullptr) {
     // Kernel pages interleave round-robin by page index; user pages follow
     // the configured policy.
     const NodeId toucher =
         kernel ? static_cast<NodeId>(key.vpage % num_nodes_) : node;
-    const PageNum frame = allocate_frame(key.vpage, toucher);
-    it = page_table_.emplace(key, frame).first;
+    frame = page_table_.try_emplace(key, allocate_frame(key.vpage, toucher))
+                .first;
   }
-  return addr_of_page(it->second) | (vaddr & (kPageBytes - 1));
+  return addr_of_page(*frame) | (vaddr & (kPageBytes - 1));
 }
 
 std::optional<Addr> Os::translate(AddressSpaceId asid, Addr vaddr) const {
   if (vaddr >= kKernelSpaceBase) asid = kKernelAsid;
-  const auto it = page_table_.find(PageKey{asid, page_of(vaddr)});
-  if (it == page_table_.end()) return std::nullopt;
-  return addr_of_page(it->second) | (vaddr & (kPageBytes - 1));
+  const PageNum* frame = page_table_.find(PageKey{asid, page_of(vaddr)});
+  if (frame == nullptr) return std::nullopt;
+  return addr_of_page(*frame) | (vaddr & (kPageBytes - 1));
 }
 
 bool Os::mark_next_touch(AddressSpaceId asid, Addr vaddr) {
   if (vaddr >= kKernelSpaceBase) asid = kKernelAsid;
-  const auto it = page_table_.find(PageKey{asid, page_of(vaddr)});
-  if (it == page_table_.end()) return false;
-  frames_.release(it->second);
-  page_table_.erase(it);
+  const PageKey key{asid, page_of(vaddr)};
+  const PageNum* frame = page_table_.find(key);
+  if (frame == nullptr) return false;
+  frames_.release(*frame);
+  page_table_.erase(key);
   ++stats_.next_touch_migrations;
   return true;
 }
@@ -153,8 +160,8 @@ void Os::place_thread(ThreadId thread, NodeId node) {
 }
 
 NodeId Os::node_of_thread(ThreadId thread) const {
-  const auto it = thread_node_.find(thread);
-  return it == thread_node_.end() ? kInvalidNode : it->second;
+  const NodeId* node = thread_node_.find(thread);
+  return node == nullptr ? kInvalidNode : *node;
 }
 
 void Os::migrate_thread(ThreadId thread, NodeId node) {

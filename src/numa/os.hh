@@ -11,10 +11,10 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "common/config.hh"
+#include "common/flat_map.hh"
 #include "common/types.hh"
 
 namespace allarm::numa {
@@ -99,8 +99,13 @@ class Os {
   bool mark_next_touch(AddressSpaceId asid, Addr vaddr);
 
   /// Home node of a physical address (which node's DRAM holds it).
+  /// Called per coherence request: uses a shift when the per-node DRAM
+  /// size is a power of two (the Table I config) instead of a 64-bit
+  /// division.
   NodeId home_of(Addr paddr) const {
-    return static_cast<NodeId>(paddr / dram_bytes_per_node_);
+    return static_cast<NodeId>(home_shift_ != kNoHomeShift
+                                   ? paddr >> home_shift_
+                                   : paddr / dram_bytes_per_node_);
   }
 
   /// Caps usable frames per node (memory-pressure experiments).
@@ -130,26 +135,31 @@ class Os {
   PageNum allocate_frame(PageNum vpage, NodeId toucher);
 
   struct PageKey {
-    AddressSpaceId asid;
-    PageNum vpage;
+    AddressSpaceId asid = 0;
+    PageNum vpage = 0;
     bool operator==(const PageKey& o) const {
       return asid == o.asid && vpage == o.vpage;
     }
   };
   struct PageKeyHash {
     std::size_t operator()(const PageKey& k) const {
-      return std::hash<std::uint64_t>()(
+      // FlatMap applies a 64-bit finalizer mix on top; folding asid into
+      // the high bits here keeps distinct address spaces distinct.
+      return static_cast<std::size_t>(
           (static_cast<std::uint64_t>(k.asid) << 40) ^ k.vpage);
     }
   };
 
+  static constexpr unsigned kNoHomeShift = 0xFF;
+
   std::uint32_t num_nodes_;
   std::uint32_t mesh_width_;
   std::uint64_t dram_bytes_per_node_;
+  unsigned home_shift_ = kNoHomeShift;  ///< log2(dram/node) when a power of 2.
   AllocPolicy policy_;
   FrameAllocator frames_;
-  std::unordered_map<PageKey, PageNum, PageKeyHash> page_table_;
-  std::unordered_map<ThreadId, NodeId> thread_node_;
+  FlatMap<PageKey, PageNum, PageKeyHash> page_table_;
+  FlatMap<ThreadId, NodeId> thread_node_;
   std::vector<std::vector<NodeId>> spill_orders_;
   std::uint64_t interleave_next_ = 0;
   OsStats stats_;

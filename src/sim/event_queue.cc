@@ -1,24 +1,20 @@
 #include "sim/event_queue.hh"
 
+#include <algorithm>
+
 namespace allarm::sim {
 
-void EventQueue::schedule_at(Tick when, Action action) {
-  if (when < now_) {
-    throw std::logic_error("EventQueue: scheduling into the past");
+void EventQueue::drain_far_slow() {
+  const Tick horizon = base_ + kNearBuckets;
+  while (!far_.empty() && far_.front().when < horizon) {
+    // Heap pops come out in exact (tick, seq) order, and a tick is only
+    // ever migrated before any in-window insert can target it, so bucket
+    // FIFO order remains global (tick, seq) order.  The node itself never
+    // moves -- only its reference leaves the heap.
+    std::pop_heap(far_.begin(), far_.end(), Later{});
+    link_near(far_.back().node);
+    far_.pop_back();
   }
-  heap_.push(Entry{when, seq_++, std::move(action)});
-}
-
-bool EventQueue::run_one() {
-  if (heap_.empty()) return false;
-  // priority_queue::top returns const&; the action must be moved out before
-  // pop.  const_cast is confined to this one extraction point.
-  Entry entry = std::move(const_cast<Entry&>(heap_.top()));
-  heap_.pop();
-  now_ = entry.when;
-  ++executed_;
-  entry.action();
-  return true;
 }
 
 std::uint64_t EventQueue::run(std::uint64_t max_events) {
@@ -28,12 +24,51 @@ std::uint64_t EventQueue::run(std::uint64_t max_events) {
 }
 
 void EventQueue::run_until(Tick until) {
-  while (!heap_.empty() && heap_.top().when <= until) run_one();
+  // Peek WITHOUT next_bucket(): that would advance base_ to the next
+  // pending tick even when it lies beyond `until`, and an event scheduled
+  // afterwards below that tick would land behind the window base and
+  // execute out of order.  A pure read keeps base_ <= every executed tick.
+  while (true) {
+    Tick next;
+    if (near_count_ > 0) {
+      // Bucket ticks all lie below base_ + kNearBuckets <= any far tick,
+      // so the earliest near event is the global minimum.
+      const std::size_t b = scan_from(base_ & kNearMask);
+      next = nodes_[buckets_[b].head].when;
+    } else if (!far_.empty()) {
+      next = far_.front().when;
+    } else {
+      break;
+    }
+    if (next > until) break;
+    run_one();
+  }
   if (now_ < until) now_ = until;
 }
 
 void EventQueue::clear() {
-  while (!heap_.empty()) heap_.pop();
+  if (near_count_ != 0) {
+    for (std::size_t w = 0; w < live0_.size(); ++w) {
+      std::uint64_t word = live0_[w];
+      while (word != 0) {
+        const std::size_t b = (w << 6) + lowest_set_bit(word);
+        word &= word - 1;
+        Bucket& bucket = buckets_[b];
+        for (std::uint32_t i = bucket.head; i != kNil;) {
+          const std::uint32_t next = nodes_[i].next;
+          release_node(i);
+          i = next;
+        }
+        bucket.head = bucket.tail = kNil;
+      }
+      live0_[w] = 0;
+    }
+    std::fill(live1_.begin(), live1_.end(), 0);
+    live2_ = 0;
+    near_count_ = 0;
+  }
+  for (const FarRef& ref : far_) release_node(ref.node);
+  far_.clear();
 }
 
 }  // namespace allarm::sim

@@ -1,0 +1,184 @@
+// Unit tests for the open-addressing hash containers.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <deque>
+#include <set>
+#include <string>
+
+#include "common/flat_map.hh"
+
+namespace allarm {
+namespace {
+
+TEST(FlatMap, StartsEmpty) {
+  FlatMap<std::uint64_t, int> m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_EQ(m.find(42), nullptr);
+  EXPECT_EQ(m.count(42), 0u);
+  EXPECT_FALSE(m.erase(42));
+}
+
+TEST(FlatMap, InsertFindErase) {
+  FlatMap<std::uint64_t, int> m;
+  m[7] = 70;
+  m[9] = 90;
+  ASSERT_NE(m.find(7), nullptr);
+  EXPECT_EQ(*m.find(7), 70);
+  EXPECT_EQ(*m.find(9), 90);
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_TRUE(m.erase(7));
+  EXPECT_EQ(m.find(7), nullptr);
+  EXPECT_EQ(*m.find(9), 90);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FlatMap, TryEmplaceReportsExisting) {
+  FlatMap<std::uint64_t, int> m;
+  auto [first, inserted] = m.try_emplace(5, 50);
+  EXPECT_TRUE(inserted);
+  EXPECT_EQ(*first, 50);
+  auto [second, inserted_again] = m.try_emplace(5, 99);
+  EXPECT_FALSE(inserted_again);
+  EXPECT_EQ(*second, 50);  // Existing value untouched.
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FlatMap, OperatorBracketDefaultConstructs) {
+  FlatMap<std::uint64_t, int> m;
+  EXPECT_EQ(m[3], 0);
+  m[3] += 7;
+  EXPECT_EQ(m[3], 7);
+}
+
+TEST(FlatMap, RehashPreservesAllEntries) {
+  FlatMap<std::uint64_t, std::uint64_t> m;
+  const std::size_t initial_capacity = m.capacity();
+  for (std::uint64_t k = 0; k < 1000; ++k) m[k * 0x9E3779B9ull] = k;
+  EXPECT_GT(m.capacity(), initial_capacity);
+  EXPECT_EQ(m.size(), 1000u);
+  for (std::uint64_t k = 0; k < 1000; ++k) {
+    const std::uint64_t* v = m.find(k * 0x9E3779B9ull);
+    ASSERT_NE(v, nullptr) << "key " << k;
+    EXPECT_EQ(*v, k);
+  }
+}
+
+TEST(FlatMap, EraseInsertChurnDoesNotGrowUnbounded) {
+  // Tombstones must be reused: erasing and reinserting the same keys in a
+  // loop keeps the table at a bounded capacity.
+  FlatMap<std::uint64_t, int> m;
+  for (int round = 0; round < 1000; ++round) {
+    for (std::uint64_t k = 0; k < 8; ++k) m[k] = round;
+    for (std::uint64_t k = 0; k < 8; ++k) EXPECT_TRUE(m.erase(k));
+  }
+  EXPECT_TRUE(m.empty());
+  EXPECT_LE(m.capacity(), 64u);
+}
+
+// A hash that collides everything: probe chains and tombstones become
+// deterministic and maximal.
+struct CollidingHash {
+  std::size_t operator()(std::uint64_t) const { return 0; }
+};
+
+TEST(FlatMap, TombstoneInProbeChainIsSkippedAndReused) {
+  FlatMap<std::uint64_t, int, CollidingHash> m;
+  m[1] = 10;
+  m[2] = 20;
+  m[3] = 30;  // All three share one probe chain.
+  EXPECT_TRUE(m.erase(2));
+  // 3 lives beyond the tombstone; lookup must skip over it.
+  ASSERT_NE(m.find(3), nullptr);
+  EXPECT_EQ(*m.find(3), 30);
+  // Reinserting a chain-end key must not duplicate it via the tombstone.
+  m[3] = 31;
+  EXPECT_EQ(*m.find(3), 31);
+  EXPECT_EQ(m.size(), 2u);
+  // A fresh key reuses the hole.
+  const std::size_t capacity_before = m.capacity();
+  m[4] = 40;
+  EXPECT_EQ(m.capacity(), capacity_before);
+  EXPECT_EQ(*m.find(1), 10);
+  EXPECT_EQ(*m.find(4), 40);
+}
+
+TEST(FlatMap, ClearKeepsCapacityAndDropsEntries) {
+  FlatMap<std::uint64_t, int> m;
+  for (std::uint64_t k = 0; k < 100; ++k) m[k] = 1;
+  const std::size_t cap = m.capacity();
+  m.clear();
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.capacity(), cap);
+  EXPECT_EQ(m.find(5), nullptr);
+  m[5] = 2;
+  EXPECT_EQ(*m.find(5), 2);
+}
+
+TEST(FlatMap, HoldsNonTrivialValues) {
+  FlatMap<std::uint64_t, std::deque<std::string>> m;
+  m[1].push_back("hello");
+  m[1].push_back("world");
+  ASSERT_NE(m.find(1), nullptr);
+  EXPECT_EQ(m.find(1)->size(), 2u);
+  EXPECT_TRUE(m.erase(1));
+  EXPECT_EQ(m.find(1), nullptr);
+}
+
+TEST(FlatMap, StructKeyWithCustomHash) {
+  struct Key {
+    std::uint32_t a = 0;
+    std::uint64_t b = 0;
+    bool operator==(const Key& o) const { return a == o.a && b == o.b; }
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      return (static_cast<std::size_t>(k.a) << 40) ^ k.b;
+    }
+  };
+  FlatMap<Key, int, KeyHash> m;
+  m[Key{1, 2}] = 12;
+  m[Key{2, 1}] = 21;
+  EXPECT_EQ(*m.find(Key{1, 2}), 12);
+  EXPECT_EQ(*m.find(Key{2, 1}), 21);
+  EXPECT_EQ(m.find(Key{1, 3}), nullptr);
+}
+
+TEST(FlatSet, InsertEraseCount) {
+  FlatSet<std::uint64_t> s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_TRUE(s.insert(10));
+  EXPECT_FALSE(s.insert(10));  // Duplicate.
+  EXPECT_TRUE(s.insert(11));
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.count(10), 1u);
+  EXPECT_EQ(s.count(12), 0u);
+  EXPECT_TRUE(s.erase(10));
+  EXPECT_FALSE(s.erase(10));
+  EXPECT_EQ(s.count(10), 0u);
+  s.clear();
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(FlatSet, SurvivesHeavyChurn) {
+  FlatSet<std::uint64_t> s;
+  std::set<std::uint64_t> reference;
+  std::uint64_t x = 1;
+  for (int i = 0; i < 10000; ++i) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;  // LCG.
+    const std::uint64_t key = x % 512;
+    if ((x >> 32) & 1) {
+      EXPECT_EQ(s.insert(key), reference.insert(key).second);
+    } else {
+      EXPECT_EQ(s.erase(key), reference.erase(key) > 0);
+    }
+  }
+  EXPECT_EQ(s.size(), reference.size());
+  for (std::uint64_t k = 0; k < 512; ++k) {
+    EXPECT_EQ(s.count(k), reference.count(k)) << "key " << k;
+  }
+}
+
+}  // namespace
+}  // namespace allarm

@@ -1,0 +1,123 @@
+// Allocation instrumentation for the event kernel.
+//
+// Overrides global operator new/delete with counting wrappers and asserts
+// the tentpole property of the allocation-free kernel: once warmed up,
+// scheduling and executing events whose closures fit sim::Event's inline
+// buffer performs ZERO heap allocations -- the node arena, the far heap
+// and the buckets all recycle their capacity.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+#include "core/experiment.hh"
+#include "core/system.hh"
+#include "sim/event_queue.hh"
+#include "workload/profiles.hh"
+
+namespace {
+std::atomic<std::uint64_t> g_news{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_news.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace allarm::sim {
+namespace {
+
+constexpr Tick kFarDelay = 1u << 20;  // Beyond the near horizon.
+
+// A self-rescheduling ticker with a representative capture footprint (the
+// coherence closures carry a `this` plus a few words): fits inline.
+struct Ticker {
+  EventQueue* eq;
+  std::uint64_t payload[3];
+  std::uint64_t limit;
+  void operator()() const {
+    if (eq->events_executed() < limit) {
+      eq->schedule_in(1 + (payload[0] & 0xFF), *this);
+    }
+  }
+};
+static_assert(sizeof(Ticker) <= Event::kInlineBytes,
+              "representative closure must fit inline storage");
+
+TEST(KernelAllocations, SteadyStateSchedulesWithoutHeapAllocations) {
+  EventQueue eq;
+
+  // Warm-up: reach the arena / heap / bucket high-water mark.  Several
+  // concurrent near tickers plus far-horizon tickers so both tiers and the
+  // far heap see their peak occupancy before measurement starts.
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    eq.schedule_in(i + 1, Ticker{&eq, {i * 977, i, ~i}, 20000});
+  }
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    eq.schedule_in(kFarDelay + i, Ticker{&eq, {i * 131, i, ~i}, 20000});
+  }
+  eq.run(10000);
+
+  const std::uint64_t fallbacks_before = Event::heap_fallbacks();
+  const std::uint64_t news_before = g_news.load(std::memory_order_relaxed);
+
+  // Measured steady state: tens of thousands of schedule/execute cycles.
+  const std::uint64_t executed = eq.run(10000);
+
+  const std::uint64_t news_after = g_news.load(std::memory_order_relaxed);
+  EXPECT_EQ(executed, 10000u);
+  EXPECT_EQ(news_after - news_before, 0u)
+      << "event kernel allocated on the steady-state path";
+  EXPECT_EQ(Event::heap_fallbacks(), fallbacks_before)
+      << "an inline-sized closure fell back to the heap";
+}
+
+TEST(KernelAllocations, FarHorizonSteadyStateIsAllocationFree) {
+  EventQueue eq;
+
+  // Every reschedule crosses the far heap.
+  struct FarTicker {
+    EventQueue* eq;
+    std::uint64_t limit;
+    void operator()() const {
+      if (eq->events_executed() < limit) eq->schedule_in(kFarDelay, *this);
+    }
+  };
+  for (int i = 0; i < 8; ++i) eq.schedule_in(i + 1, FarTicker{&eq, 5000});
+  eq.run(2000);
+
+  const std::uint64_t news_before = g_news.load(std::memory_order_relaxed);
+  const std::uint64_t executed = eq.run(2000);
+  const std::uint64_t news_after = g_news.load(std::memory_order_relaxed);
+  EXPECT_EQ(executed, 2000u);
+  EXPECT_EQ(news_after - news_before, 0u)
+      << "far-heap traffic allocated in steady state";
+}
+
+TEST(KernelAllocations, FullSystemRunNeverSpillsEventsToHeap) {
+  // End-to-end: every closure the simulator schedules across a whole
+  // multithreaded run must fit sim::Event's inline buffer.
+  const std::uint64_t fallbacks_before = Event::heap_fallbacks();
+  SystemConfig config;
+  const workload::WorkloadSpec spec =
+      workload::make_benchmark("ocean-cont", config, 500);
+  core::System system(config);
+  core::RunOptions options;
+  options.seed = 42;
+  options.migration_interval = ticks_from_ns(5000.0);
+  system.run(spec, options);
+  EXPECT_GT(system.events().events_executed(), 0u);
+  EXPECT_EQ(Event::heap_fallbacks(), fallbacks_before)
+      << "a simulator closure no longer fits Event::kInlineBytes";
+}
+
+}  // namespace
+}  // namespace allarm::sim

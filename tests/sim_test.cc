@@ -1,6 +1,8 @@
 // Unit tests for the discrete-event kernel.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include "sim/event_queue.hh"
@@ -118,6 +120,153 @@ TEST(EventQueue, LargeVolumeKeepsOrder) {
   }
   eq.run();
   EXPECT_TRUE(monotone);
+}
+
+// The near horizon is 2^17 ticks: anything beyond now() + 131072 overflows
+// into the far heap.  These tests pin the near/far split and, crucially,
+// that (tick, insertion-order) FIFO survives migration between the two.
+
+constexpr Tick kFar = 1u << 20;  // Safely beyond the near horizon.
+
+TEST(EventQueue, FarEventsAreHeapedThenExecuted) {
+  EventQueue eq;
+  std::vector<int> order;
+  eq.schedule_at(kFar, [&] { order.push_back(2); });
+  eq.schedule_at(10, [&] { order.push_back(1); });
+  EXPECT_EQ(eq.far_pending(), 1u);
+  EXPECT_EQ(eq.pending(), 2u);
+  eq.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(eq.now(), kFar);
+  EXPECT_EQ(eq.far_pending(), 0u);
+}
+
+TEST(EventQueue, SameTickFifoSurvivesFarMigration) {
+  // a and b overflow into the far heap (scheduled while the window is far
+  // below kFar); c is scheduled for the same tick later, after the window
+  // has advanced enough that kFar is within the near horizon -- so c is a
+  // direct bucket insert after a and b migrated.  FIFO demands a, b, c.
+  EventQueue eq;
+  std::vector<char> order;
+  eq.schedule_at(kFar, [&] { order.push_back('a'); });
+  eq.schedule_at(kFar, [&] { order.push_back('b'); });
+  EXPECT_EQ(eq.far_pending(), 2u);
+  eq.schedule_at(kFar - 1000, [&] {
+    eq.schedule_at(kFar, [&] { order.push_back('c'); });
+  });
+  eq.run();
+  EXPECT_EQ(order, (std::vector<char>{'a', 'b', 'c'}));
+}
+
+TEST(EventQueue, FarEventsExecuteInTickSeqOrder) {
+  EventQueue eq;
+  std::vector<int> order;
+  const Tick ticks[] = {kFar + 7, kFar + 3, kFar + 7, kFar + 1, kFar + 3};
+  for (int i = 0; i < 5; ++i) {
+    eq.schedule_at(ticks[i], [&order, i] { order.push_back(i); });
+  }
+  eq.run();
+  // Sorted by (tick, insertion order): 3 (kFar+1), 1, 4 (kFar+3), 0, 2.
+  EXPECT_EQ(order, (std::vector<int>{3, 1, 4, 0, 2}));
+}
+
+TEST(EventQueue, RunUntilIncludesFarBoundary) {
+  EventQueue eq;
+  int fired = 0;
+  eq.schedule_at(kFar, [&] { ++fired; });
+  eq.schedule_at(kFar + 1, [&] { ++fired; });
+  eq.run_until(kFar);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(eq.now(), kFar);
+  EXPECT_EQ(eq.pending(), 1u);
+  eq.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, SchedulingAfterIdleRunUntilKeepsOrder) {
+  // Regression: run_until's peek must not advance the window base past
+  // `until`.  If it does, an event scheduled afterwards below the next
+  // pending tick lands behind the window base and runs out of order (and
+  // now() runs backwards).
+  EventQueue eq;
+  std::vector<Tick> fired;
+  eq.schedule_at(1000, [&] { fired.push_back(eq.now()); });
+  eq.run_until(500);
+  EXPECT_EQ(eq.now(), 500u);
+  eq.schedule_at(600, [&] { fired.push_back(eq.now()); });
+  eq.run();
+  EXPECT_EQ(fired, (std::vector<Tick>{600, 1000}));
+  EXPECT_EQ(eq.now(), 1000u);
+}
+
+TEST(EventQueue, SchedulingAfterIdleRunUntilKeepsOrderAcrossHorizon) {
+  // Same regression with the pending event in the far heap.
+  EventQueue eq;
+  std::vector<Tick> fired;
+  eq.schedule_at(kFar, [&] { fired.push_back(eq.now()); });
+  eq.run_until(500);
+  eq.schedule_at(600, [&] { fired.push_back(eq.now()); });
+  eq.run();
+  EXPECT_EQ(fired, (std::vector<Tick>{600, kFar}));
+}
+
+TEST(EventQueue, ClearDiscardsNearAndFarAndQueueStaysUsable) {
+  EventQueue eq;
+  int fired = 0;
+  eq.schedule_at(5, [&] { ++fired; });
+  eq.schedule_at(kFar, [&] { ++fired; });
+  eq.clear();
+  EXPECT_EQ(eq.pending(), 0u);
+  eq.run();
+  EXPECT_EQ(fired, 0);
+  // A cleared queue keeps working (experiment repetitions reuse it).
+  eq.schedule_at(7, [&] { ++fired; });
+  eq.schedule_at(kFar + 9, [&] { ++fired; });
+  eq.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(eq.now(), kFar + 9);
+}
+
+TEST(EventQueue, LargeVolumeAcrossHorizonKeepsOrder) {
+  EventQueue eq;
+  Tick last = 0;
+  bool monotone = true;
+  std::uint64_t fired = 0;
+  for (int i = 0; i < 20000; ++i) {
+    // Spread ticks across several near-window spans.
+    eq.schedule_at(static_cast<Tick>((i * 7919) % 1000000), [&] {
+      monotone = monotone && eq.now() >= last;
+      last = eq.now();
+      ++fired;
+    });
+  }
+  eq.run();
+  EXPECT_TRUE(monotone);
+  EXPECT_EQ(fired, 20000u);
+}
+
+TEST(Event, HoldsNonTriviallyCopyableCallables) {
+  // A std::string capture exercises the non-trivial relocate path.
+  std::string payload = "the quick brown fox jumps over the lazy dog";
+  Event ev([payload, out = std::string()]() mutable { out = payload; });
+  Event moved = std::move(ev);
+  EXPECT_FALSE(static_cast<bool>(ev));
+  EXPECT_TRUE(static_cast<bool>(moved));
+  moved();
+}
+
+TEST(Event, OversizedCallablesFallBackToHeapAndAreCounted) {
+  const std::uint64_t before = Event::heap_fallbacks();
+  struct Big {
+    char bytes[128];
+  };
+  Big big{};
+  big.bytes[0] = 42;
+  int out = 0;
+  Event ev([big, &out] { out = big.bytes[0]; });
+  EXPECT_EQ(Event::heap_fallbacks(), before + 1);
+  ev();
+  EXPECT_EQ(out, 42);
 }
 
 }  // namespace
