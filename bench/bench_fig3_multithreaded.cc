@@ -13,6 +13,7 @@
 #include <iostream>
 
 #include "bench_util.hh"
+#include "runner/sink.hh"
 #include "runner/sweep.hh"
 
 namespace {
@@ -32,7 +33,12 @@ const runner::SweepResult& sweep() {
     const runner::SweepRunner sweep_runner(core::bench_jobs());
     std::cerr << "fig3: " << spec.job_count() << " simulations on "
               << sweep_runner.jobs() << " workers\n";
-    return sweep_runner.run(spec);
+    // Stream cells as they finish, keeping only runs[0] per cell — the
+    // figures read the pair() lookups, never the other replicates.
+    runner::SweepResult out;
+    runner::CollectSink sink(out, runner::CollectSink::Retain::kFirstRunOnly);
+    sweep_runner.run_streaming(spec, sink);
+    return out;
   }();
   return result;
 }

@@ -16,6 +16,7 @@
 #include <stdexcept>
 
 #include "bench_util.hh"
+#include "runner/sink.hh"
 #include "runner/sweep.hh"
 
 namespace {
@@ -43,7 +44,11 @@ const runner::SweepResult& sweep() {
     const runner::SweepRunner sweep_runner(core::bench_jobs());
     std::cerr << "fig3h: " << spec.job_count() << " simulations on "
               << sweep_runner.jobs() << " workers\n";
-    return sweep_runner.run(spec);
+    // Stream cells as they finish; the figure reads runs[0] runtimes only.
+    runner::SweepResult out;
+    runner::CollectSink sink(out, runner::CollectSink::Retain::kFirstRunOnly);
+    sweep_runner.run_streaming(spec, sink);
+    return out;
   }();
   return result;
 }

@@ -15,21 +15,42 @@
 //   --accesses N         ROI accesses per thread (default per grid, or the
 //                        ALLARM_BENCH_ACCESSES environment variable)
 //   --seed N             base seed (default 42)
-//   --out FILE           write the JSON report here (default: stdout)
-//   --csv FILE           also write a long-format CSV report
+//   --out FILE           stream the JSON report here (default: stdout)
+//   --csv FILE           also stream a long-format CSV report
+//   --journal FILE       journal every finished job to FILE (+ FILE.data)
+//                        so the sweep survives interruption
+//   --resume             resume from --journal: already-journaled jobs are
+//                        not re-run, their results replay from disk
+//   --shard K/N          run only shard K of N (1-based; cells partition
+//                        round-robin).  Requires --journal so the shards
+//                        can be merged later
+//   --merge FILE         merge mode: fold the given shard journal instead
+//                        of running anything (repeat per shard).  Produces
+//                        byte-identical output to a single-machine run
+//   --window N           cap on in-flight + unfolded results (default:
+//                        4x workers); bounds peak memory at O(jobs)
 //   --list               list available grids and exit
 //
-// Reports contain no execution metadata: the same grid, seeds and accesses
-// produce byte-identical output at any --jobs setting.
+// Reports are streamed cell by cell — a finished cell is serialized and
+// dropped, so report size never bounds grid size.  They contain no
+// execution metadata: the same grid, seeds and accesses produce
+// byte-identical output at any --jobs setting, across kill/--resume
+// cycles, and across --shard/--merge splits.  See docs/SWEEPS.md.
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "common/config.hh"
+#include "common/fileio.hh"
 #include "core/experiment.hh"
 #include "runner/report.hh"
+#include "runner/sink.hh"
 #include "runner/sweep.hh"
 #include "workload/profiles.hh"
 
@@ -45,12 +66,19 @@ struct Options {
   std::uint64_t seed = 42;
   std::string out;
   std::string csv;
+  std::string journal;
+  bool resume = false;
+  runner::ShardSpec shard;
+  std::vector<std::string> merge;
+  std::size_t window = 0;
 };
 
 [[noreturn]] void usage(int code) {
   std::cout <<
       "usage: sweep --grid fig3|fig3h|policy|quick [--jobs N] [--seeds K]\n"
-      "             [--accesses N] [--seed N] [--out FILE] [--csv FILE] [--list]\n";
+      "             [--accesses N] [--seed N] [--out FILE] [--csv FILE]\n"
+      "             [--journal FILE [--resume]] [--shard K/N]\n"
+      "             [--merge FILE]... [--window N] [--list]\n";
   std::exit(code);
 }
 
@@ -97,6 +125,29 @@ runner::SweepSpec make_grid(const Options& options) {
   return spec;
 }
 
+runner::ShardSpec parse_shard(const char* text) {
+  runner::ShardSpec shard;
+  char* end = nullptr;
+  shard.index = static_cast<std::uint32_t>(std::strtoul(text, &end, 10));
+  if (end == text || *end != '/') {
+    std::cerr << "--shard wants K/N, got '" << text << "'\n";
+    usage(2);
+  }
+  const char* count_text = end + 1;
+  shard.count = static_cast<std::uint32_t>(std::strtoul(count_text, &end, 10));
+  if (end == count_text || *end != '\0') {
+    std::cerr << "--shard wants K/N, got '" << text << "'\n";
+    usage(2);
+  }
+  try {
+    shard.validate();
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    usage(2);
+  }
+  return shard;
+}
+
 Options parse(int argc, char** argv) {
   Options options;
   auto value = [&](int& i) -> const char* {
@@ -119,6 +170,16 @@ Options parse(int argc, char** argv) {
       options.out = value(i);
     } else if (std::strcmp(arg, "--csv") == 0) {
       options.csv = value(i);
+    } else if (std::strcmp(arg, "--journal") == 0) {
+      options.journal = value(i);
+    } else if (std::strcmp(arg, "--resume") == 0) {
+      options.resume = true;
+    } else if (std::strcmp(arg, "--shard") == 0) {
+      options.shard = parse_shard(value(i));
+    } else if (std::strcmp(arg, "--merge") == 0) {
+      options.merge.push_back(value(i));
+    } else if (std::strcmp(arg, "--window") == 0) {
+      options.window = std::strtoull(value(i), nullptr, 10);
     } else if (std::strcmp(arg, "--list") == 0) {
       list_grids();
       std::exit(0);
@@ -137,33 +198,140 @@ Options parse(int argc, char** argv) {
     std::cerr << "--seeds must be positive\n";
     usage(2);
   }
+  if (options.resume && options.journal.empty()) {
+    std::cerr << "--resume requires --journal\n";
+    usage(2);
+  }
+  if (options.shard.count > 1 && options.journal.empty() &&
+      options.merge.empty()) {
+    std::cerr << "--shard requires --journal (shards merge via journals)\n";
+    usage(2);
+  }
+  if (!options.merge.empty() &&
+      (options.resume || !options.journal.empty() || options.shard.count > 1)) {
+    std::cerr << "--merge folds existing journals; it cannot be combined "
+                 "with --journal/--resume/--shard\n";
+    usage(2);
+  }
   return options;
 }
+
+/// The report pipeline: streaming JSON to --out (or stdout) and optionally
+/// streaming CSV to --csv, fanned out through one TeeSink.  File reports
+/// stream into `<path>.tmp` and rename into place only on success, so a
+/// failed run (bad merge, full disk, mid-sweep error) never destroys a
+/// pre-existing good report.
+struct ReportSinks {
+  std::ofstream out_file;
+  std::ofstream csv_file;
+  std::unique_ptr<runner::JsonStreamSink> json;
+  std::unique_ptr<runner::CsvStreamSink> csv;
+  std::vector<runner::ResultSink*> all;
+  runner::TeeSink tee{{}};
+
+  static std::ofstream open_tmp(const std::string& path) {
+    std::ofstream file(path + ".tmp", std::ios::binary | std::ios::trunc);
+    if (!file) {
+      throw std::runtime_error("cannot open " + path + ".tmp for writing");
+    }
+    return file;
+  }
+
+  explicit ReportSinks(const Options& options) {
+    if (options.out.empty()) {
+      json = std::make_unique<runner::JsonStreamSink>(std::cout, "stdout");
+    } else {
+      out_file = open_tmp(options.out);
+      json = std::make_unique<runner::JsonStreamSink>(out_file, options.out);
+    }
+    all.push_back(json.get());
+    if (!options.csv.empty()) {
+      csv_file = open_tmp(options.csv);
+      csv = std::make_unique<runner::CsvStreamSink>(csv_file, options.csv);
+      all.push_back(csv.get());
+    }
+    tee = runner::TeeSink(all);
+  }
+
+  static void close_and_rename(std::ofstream& file, const std::string& path) {
+    file.close();
+    if (!file) throw std::runtime_error("failed closing " + path + ".tmp");
+    {
+      // fsync before the rename: without it, a power loss after the
+      // rename could replace a good previous report with a partial one.
+      allarm::File tmp(path + ".tmp", allarm::File::Mode::kReadWrite);
+      tmp.sync();
+      tmp.close();
+    }
+    if (std::rename((path + ".tmp").c_str(), path.c_str()) != 0) {
+      throw std::runtime_error("failed renaming " + path + ".tmp into place");
+    }
+    std::cerr << "wrote " << path << "\n";
+  }
+
+  /// Publishes the temp files.  Only called on success; on failure the
+  /// target paths keep their previous contents (exit is nonzero either
+  /// way — never a silently truncated report).
+  void finish(const Options& options) {
+    if (out_file.is_open()) close_and_rename(out_file, options.out);
+    if (csv_file.is_open()) close_and_rename(csv_file, options.csv);
+  }
+};
 
 }  // namespace
 
 int main(int argc, char** argv) try {
   const Options options = parse(argc, argv);
   const runner::SweepSpec spec = make_grid(options);
+
+  ReportSinks sinks(options);
+
+  if (!options.merge.empty()) {
+    std::cerr << "merging " << options.merge.size() << " journal(s) of sweep '"
+              << spec.name << "'\n";
+    const runner::StreamStats stats =
+        runner::merge_journals(spec, options.merge, sinks.tee);
+    sinks.finish(options);
+    std::cerr << "merged " << stats.jobs_total << " jobs into "
+              << stats.cells_emitted << " cells in " << stats.wall_seconds
+              << " s\n";
+    return 0;
+  }
+
   const runner::SweepRunner sweep_runner(options.jobs);
+  runner::StreamOptions stream;
+  stream.journal_path = options.journal;
+  stream.resume = options.resume;
+  stream.shard = options.shard;
+  stream.max_outstanding = options.window;
 
-  std::cerr << "sweep '" << spec.name << "': " << spec.job_count()
-            << " jobs on " << sweep_runner.jobs() << " workers\n";
-  const runner::SweepResult result = sweep_runner.run(spec);
-  std::cerr << "done in " << result.wall_seconds << " s ("
-            << result.tasks_stolen << " tasks stolen)\n";
+  // Banner counts the jobs THIS run owns (scripts parse it, e.g. the
+  // resume smoke's kill threshold), not the full grid.
+  std::uint64_t owned_cells = 0;
+  for (std::uint64_t cell = 0; cell < spec.cell_count(); ++cell) {
+    if (options.shard.owns_cell(cell)) ++owned_cells;
+  }
+  std::cerr << "sweep '" << spec.name << "': "
+            << owned_cells * spec.replicates << " jobs";
+  if (options.shard.count > 1) {
+    std::cerr << " (shard " << options.shard.index << "/"
+              << options.shard.count << " of " << spec.job_count()
+              << " total)";
+  }
+  std::cerr << " on " << sweep_runner.jobs() << " workers\n";
 
-  const std::string json = runner::to_json(result);
-  if (options.out.empty()) {
-    std::cout << json;
-  } else {
-    runner::write_file(options.out, json);
-    std::cerr << "wrote " << options.out << "\n";
+  const runner::StreamStats stats =
+      sweep_runner.run_streaming(spec, sinks.tee, stream);
+  sinks.finish(options);
+
+  std::cerr << "done in " << stats.wall_seconds << " s: "
+            << stats.jobs_executed << " jobs run";
+  if (stats.jobs_resumed > 0) {
+    std::cerr << ", " << stats.jobs_resumed << " resumed from journal";
   }
-  if (!options.csv.empty()) {
-    runner::write_file(options.csv, runner::to_csv(result));
-    std::cerr << "wrote " << options.csv << "\n";
-  }
+  std::cerr << ", " << stats.cells_emitted << " cells, peak "
+            << stats.peak_resident_results << " resident results ("
+            << stats.tasks_stolen << " tasks stolen)\n";
   return 0;
 } catch (const std::exception& e) {
   std::cerr << "sweep: " << e.what() << "\n";

@@ -1,0 +1,194 @@
+#!/usr/bin/env python3
+"""Validate BENCH_kernel.json and gate kernel-throughput regressions.
+
+Replaces the ad-hoc inline Python that used to live in the CI workflow.
+Two checks:
+
+1. Schema: the report must be a schema_version-1 kernel_throughput
+   document with the expected workload list, positive event counts and
+   rates, and zero event heap fallbacks (the allocation-free kernel
+   guarantee).
+
+2. Regression gate versus a committed baseline
+   (bench/baseline/BENCH_kernel.json by default).  Two complementary
+   checks, because a relative gate cannot distinguish "slower machine"
+   from "everything got slower":
+
+   - Relative: each workload's current/baseline rate ratio is normalized
+     by the MEDIAN ratio across workloads.  This cancels uniform
+     machine-speed differences and does not let one improved workload
+     make its untouched peers look regressed (a geomean normalization
+     would); a workload more than --max-regression slower than its peers
+     fails.
+   - Absolute floor: the median ratio itself must stay above
+     --min-median-ratio (default 0.5).  This catches a regression large
+     enough to drag the majority of workloads down (which the median
+     normalization alone would cancel) while still tolerating CI runners
+     up to 2x slower than the baseline machine.
+
+   Remaining blind spot: a slowdown of every workload that stays above
+   the absolute floor and moves them all about equally.  Run with
+   --absolute on the machine that recorded the baseline to check raw
+   events_per_sec with no normalization.
+
+Refresh the baseline by re-running the same command CI uses:
+
+    ./build/bench_kernel_throughput --accesses 2000 --reps 5 \
+        --out bench/baseline/BENCH_kernel.json
+
+Exit status: 0 on pass, 1 on any schema or regression failure.
+"""
+
+import argparse
+import json
+import statistics
+import sys
+
+EXPECTED_WORKLOADS = ["serial", "multithreaded", "migration"]
+
+
+def fail(message: str) -> None:
+    print(f"check_bench: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load_report(path: str) -> dict:
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot load {path}: {e}")
+
+
+def check_schema(report: dict, path: str) -> None:
+    if report.get("bench") != "kernel_throughput":
+        fail(f"{path}: bench != kernel_throughput")
+    if report.get("schema_version") != 1:
+        fail(f"{path}: unsupported schema_version {report.get('schema_version')}")
+    workloads = report.get("workloads")
+    if not isinstance(workloads, list):
+        fail(f"{path}: missing workloads array")
+    names = [w.get("name") for w in workloads]
+    if names != EXPECTED_WORKLOADS:
+        fail(f"{path}: workloads {names}, expected {EXPECTED_WORKLOADS}")
+    for w in workloads:
+        for field in ("events", "wall_seconds", "events_per_sec", "ns_per_event"):
+            value = w.get(field)
+            if not isinstance(value, (int, float)) or value <= 0:
+                fail(f"{path}: workload {w.get('name')}: bad {field}={value!r}")
+        if w.get("event_heap_fallbacks") != 0:
+            fail(
+                f"{path}: workload {w.get('name')}: "
+                f"{w.get('event_heap_fallbacks')} event heap fallbacks "
+                "(allocation-free kernel regressed)"
+            )
+    if not isinstance(report.get("geomean_events_per_sec"), (int, float)):
+        fail(f"{path}: missing geomean_events_per_sec")
+    if not isinstance(report.get("accesses_per_thread"), int):
+        fail(f"{path}: missing accesses_per_thread")
+
+
+def rates(report: dict) -> dict:
+    return {w["name"]: float(w["events_per_sec"]) for w in report["workloads"]}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("report", help="BENCH_kernel.json produced by this run")
+    parser.add_argument(
+        "--baseline",
+        default="bench/baseline/BENCH_kernel.json",
+        help="committed reference report (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.10,
+        help="fail when any workload regresses more than this fraction "
+        "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--min-median-ratio",
+        type=float,
+        default=0.5,
+        help="fail when the median current/baseline rate ratio falls below "
+        "this (absolute floor under the normalization; default: %(default)s)",
+    )
+    parser.add_argument(
+        "--absolute",
+        action="store_true",
+        help="compare raw events_per_sec instead of median-normalized "
+        "ratios (use on the machine that recorded the baseline)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="schema validation only (e.g. sanitizer builds, where "
+        "throughput numbers are meaningless)",
+    )
+    args = parser.parse_args()
+
+    report = load_report(args.report)
+    check_schema(report, args.report)
+
+    if args.no_baseline:
+        print("check_bench: schema OK (baseline comparison skipped)")
+        return
+
+    baseline = load_report(args.baseline)
+    check_schema(baseline, args.baseline)
+
+    if report["accesses_per_thread"] != baseline["accesses_per_thread"]:
+        fail(
+            f"budget mismatch: report ran accesses_per_thread="
+            f"{report['accesses_per_thread']}, baseline recorded "
+            f"{baseline['accesses_per_thread']} — shares are not comparable. "
+            "Re-record the baseline or rerun the bench at the baseline budget."
+        )
+
+    current, reference = rates(report), rates(baseline)
+    ratios = {name: current[name] / reference[name] for name in EXPECTED_WORKLOADS}
+    if not args.absolute:
+        # Median normalization cancels uniform machine-speed differences
+        # without letting one improved workload drag its untouched peers'
+        # shares below the threshold (a geomean normalization would).
+        norm = statistics.median(ratios.values())
+        print(f"check_bench: median raw ratio vs baseline = {norm:.3f}")
+        if norm < args.min_median_ratio:
+            fail(
+                f"median rate ratio {norm:.3f} is below the "
+                f"{args.min_median_ratio} floor — the majority of workloads "
+                "regressed (or this runner is drastically slower than the "
+                "baseline machine; re-record the baseline if so)"
+            )
+        ratios = {name: r / norm for name, r in ratios.items()}
+        mode = "median-normalized"
+    else:
+        mode = "absolute events/sec"
+
+    failures = []
+    for name in EXPECTED_WORKLOADS:
+        ratio = ratios[name]
+        status = "OK"
+        if ratio < 1.0 - args.max_regression:
+            status = "REGRESSED"
+            failures.append(name)
+        print(
+            f"check_bench: {name:<14} {mode} ratio vs baseline = "
+            f"{ratio:.3f}  [{status}]"
+        )
+
+    if failures:
+        fail(
+            f"{', '.join(failures)} regressed more than "
+            f"{args.max_regression:.0%} vs {args.baseline}"
+        )
+    print(
+        "check_bench: OK — geomean "
+        f"{report['geomean_events_per_sec']:,.0f} events/s "
+        f"(baseline {baseline['geomean_events_per_sec']:,.0f})"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+// Checksums and content hashes used by on-disk formats.
+//
+// CRC32C (Castagnoli) guards the sweep journal's fixed-size records and
+// result payloads against torn writes and bit rot; FNV-1a/64 condenses a
+// SweepSpec's identity into the spec hash a journal is stamped with.  Both
+// are implemented in portable C++ (no SSE4.2 intrinsics) — the journal is
+// I/O-bound, not checksum-bound.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace allarm {
+
+/// CRC32C (polynomial 0x1EDC6F41, reflected) of `size` bytes starting at
+/// `data`, continuing from `seed` (pass the previous return value to
+/// checksum a buffer in pieces).  crc32c("123456789") == 0xE3069283.
+std::uint32_t crc32c(const void* data, std::size_t size,
+                     std::uint32_t seed = 0);
+
+inline std::uint32_t crc32c(const std::string& s, std::uint32_t seed = 0) {
+  return crc32c(s.data(), s.size(), seed);
+}
+
+/// Streaming FNV-1a 64-bit hasher.  Deterministic across platforms and
+/// process runs (no ASLR-dependent state), which is what lets a journal
+/// written on one machine be validated on another.
+class Fnv1a64 {
+ public:
+  static constexpr std::uint64_t kOffset = 0xcbf29ce484222325ull;
+  static constexpr std::uint64_t kPrime = 0x100000001b3ull;
+
+  void update(const void* data, std::size_t size) {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+      state_ = (state_ ^ bytes[i]) * kPrime;
+    }
+  }
+
+  /// Length-prefixed string fold: "ab" + "c" and "a" + "bc" hash apart.
+  void update(const std::string& s) {
+    update_u64(s.size());
+    update(s.data(), s.size());
+  }
+
+  void update_u64(std::uint64_t v) { update(&v, sizeof(v)); }
+  void update_u32(std::uint32_t v) { update(&v, sizeof(v)); }
+
+  void update_double(double v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    update_u64(bits);
+  }
+
+  std::uint64_t digest() const { return state_; }
+
+ private:
+  std::uint64_t state_ = kOffset;
+};
+
+}  // namespace allarm

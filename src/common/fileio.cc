@@ -1,0 +1,132 @@
+#include "common/fileio.hh"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace allarm {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& path, const char* what) {
+  throw std::runtime_error(path + ": " + what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+File::File(const std::string& path, Mode mode) : path_(path) {
+  int flags = 0;
+  switch (mode) {
+    case Mode::kRead:
+      flags = O_RDONLY;
+      break;
+    case Mode::kCreate:
+      flags = O_RDWR | O_CREAT | O_TRUNC;
+      break;
+    case Mode::kReadWrite:
+      flags = O_RDWR;
+      break;
+  }
+  fd_ = ::open(path.c_str(), flags | O_CLOEXEC, 0644);
+  if (fd_ < 0) fail(path_, "open");
+}
+
+File::~File() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+File::File(File&& other) noexcept
+    : fd_(other.fd_), path_(std::move(other.path_)) {
+  other.fd_ = -1;
+}
+
+File& File::operator=(File&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    path_ = std::move(other.path_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+std::uint64_t File::size() const {
+  struct stat st{};
+  if (::fstat(fd_, &st) != 0) fail(path_, "fstat");
+  return static_cast<std::uint64_t>(st.st_size);
+}
+
+void File::read_at(std::uint64_t offset, void* data, std::size_t size) const {
+  if (read_at_most(offset, data, size) != size) {
+    throw std::runtime_error(path_ + ": short read at offset " +
+                             std::to_string(offset));
+  }
+}
+
+std::size_t File::read_at_most(std::uint64_t offset, void* data,
+                               std::size_t size) const {
+  auto* out = static_cast<char*>(data);
+  std::size_t total = 0;
+  while (total < size) {
+    const ssize_t n = ::pread(fd_, out + total, size - total,
+                              static_cast<off_t>(offset + total));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail(path_, "pread");
+    }
+    if (n == 0) break;  // EOF.
+    total += static_cast<std::size_t>(n);
+  }
+  return total;
+}
+
+void File::write_at(std::uint64_t offset, const void* data, std::size_t size) {
+  const auto* in = static_cast<const char*>(data);
+  std::size_t total = 0;
+  while (total < size) {
+    const ssize_t n = ::pwrite(fd_, in + total, size - total,
+                               static_cast<off_t>(offset + total));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail(path_, "pwrite");
+    }
+    total += static_cast<std::size_t>(n);
+  }
+}
+
+void File::truncate(std::uint64_t size) {
+  if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) fail(path_, "ftruncate");
+}
+
+void File::sync() {
+  if (::fsync(fd_) != 0) fail(path_, "fsync");
+}
+
+void File::close() {
+  if (fd_ >= 0) {
+    const int fd = fd_;
+    fd_ = -1;
+    if (::close(fd) != 0) fail(path_, "close");
+  }
+}
+
+void write_file_durable(const std::string& path, const std::string& content) {
+  File file(path, File::Mode::kCreate);
+  file.write_at(0, content.data(), content.size());
+  file.sync();
+  file.close();
+}
+
+std::string read_file(const std::string& path) {
+  File file(path, File::Mode::kRead);
+  std::string content(file.size(), '\0');
+  file.read_at(0, content.data(), content.size());
+  return content;
+}
+
+}  // namespace allarm

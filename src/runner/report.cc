@@ -1,92 +1,161 @@
 #include "runner/report.hh"
 
-#include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
+
+#include "common/fileio.hh"
 
 namespace allarm::runner {
 
 namespace {
 
-void append_summary_json(std::ostringstream& out, const Summary& s) {
+void append_summary_json(std::ostream& out, const Summary& s) {
   out << "{\"count\":" << s.count << ",\"mean\":" << json_number(s.mean)
       << ",\"stddev\":" << json_number(s.stddev())
       << ",\"min\":" << json_number(s.min)
       << ",\"max\":" << json_number(s.max) << "}";
 }
 
-void append_summary_csv(std::ostringstream& out, const Summary& s) {
+void append_summary_csv(std::ostream& out, const Summary& s) {
   out << s.count << ',' << json_number(s.mean) << ','
       << json_number(s.stddev()) << ',' << json_number(s.min) << ','
       << json_number(s.max);
 }
 
+[[noreturn]] void io_failure(const std::string& label) {
+  throw std::runtime_error("failed writing " + label +
+                           " (stream went bad; disk full or closed?)");
+}
+
+/// Streams one sweep result through `sink` (begin / cells / end).  The
+/// per-cell copies omit the raw `runs` — they dominate the cell footprint
+/// and the report writers this feeds never serialize them.
+void replay(const SweepResult& result, ResultSink& sink) {
+  SweepMeta meta;
+  meta.name = result.name;
+  meta.base_seed = result.base_seed;
+  meta.replicates = result.replicates;
+  meta.accesses_per_thread = result.accesses_per_thread;
+  sink.begin(meta);
+  for (const CellResult& cell : result.cells) {
+    sink.cell(cell.summary_copy());
+  }
+  sink.end();
+}
+
 }  // namespace
+
+// ------------------------------------------------------------------ JSON ----
+
+JsonStreamSink::JsonStreamSink(std::ostream& out, std::string label)
+    : out_(out), label_(std::move(label)) {}
+
+void JsonStreamSink::check() const {
+  if (!out_.good()) io_failure(label_);
+}
+
+void JsonStreamSink::begin(const SweepMeta& meta) {
+  out_ << "{\n";
+  out_ << "  \"sweep\": " << json_quote(meta.name) << ",\n";
+  out_ << "  \"base_seed\": " << meta.base_seed << ",\n";
+  out_ << "  \"replicates\": " << meta.replicates << ",\n";
+  out_ << "  \"accesses_per_thread\": " << meta.accesses_per_thread << ",\n";
+  out_ << "  \"cells\": [\n";
+  check();
+}
+
+void JsonStreamSink::cell(CellResult&& cell) {
+  if (any_cell_) out_ << ",\n";
+  any_cell_ = true;
+  out_ << "    {\n";
+  out_ << "      \"workload\": " << json_quote(cell.workload) << ",\n";
+  out_ << "      \"config\": " << json_quote(cell.config_label) << ",\n";
+  out_ << "      \"mode\": " << json_quote(to_string(cell.mode)) << ",\n";
+  out_ << "      \"seeds\": [";
+  for (std::size_t s = 0; s < cell.seeds.size(); ++s) {
+    if (s > 0) out_ << ",";
+    out_ << cell.seeds[s];
+  }
+  out_ << "],\n";
+  out_ << "      \"runtime\": ";
+  append_summary_json(out_, cell.runtime);
+  out_ << ",\n";
+  out_ << "      \"stats\": {";
+  bool first = true;
+  for (const auto& [name, summary] : cell.stats) {
+    if (!first) out_ << ",";
+    first = false;
+    out_ << "\n        " << json_quote(name) << ": ";
+    append_summary_json(out_, summary);
+  }
+  if (!cell.stats.empty()) out_ << "\n      ";
+  out_ << "}\n";
+  out_ << "    }";
+  check();
+}
+
+void JsonStreamSink::end() {
+  if (any_cell_) out_ << "\n";
+  out_ << "  ]\n";
+  out_ << "}\n";
+  out_.flush();
+  check();
+}
+
+// ------------------------------------------------------------------- CSV ----
+
+CsvStreamSink::CsvStreamSink(std::ostream& out, std::string label)
+    : out_(out), label_(std::move(label)) {}
+
+void CsvStreamSink::check() const {
+  if (!out_.good()) io_failure(label_);
+}
+
+void CsvStreamSink::begin(const SweepMeta& meta) {
+  sweep_name_ = meta.name;
+  out_ << "sweep,workload,config,mode,metric,count,mean,stddev,min,max\n";
+  check();
+}
+
+void CsvStreamSink::cell(CellResult&& cell) {
+  const std::string prefix = sweep_name_ + "," + cell.workload + "," +
+                             cell.config_label + "," + to_string(cell.mode) +
+                             ",";
+  out_ << prefix << "runtime,";
+  append_summary_csv(out_, cell.runtime);
+  out_ << "\n";
+  for (const auto& [name, summary] : cell.stats) {
+    out_ << prefix << name << ',';
+    append_summary_csv(out_, summary);
+    out_ << "\n";
+  }
+  check();
+}
+
+void CsvStreamSink::end() {
+  out_.flush();
+  check();
+}
+
+// -------------------------------------------------------------- wrappers ----
 
 std::string to_json(const SweepResult& result) {
   std::ostringstream out;
-  out << "{\n";
-  out << "  \"sweep\": " << json_quote(result.name) << ",\n";
-  out << "  \"base_seed\": " << result.base_seed << ",\n";
-  out << "  \"replicates\": " << result.replicates << ",\n";
-  out << "  \"accesses_per_thread\": " << result.accesses_per_thread << ",\n";
-  out << "  \"cells\": [\n";
-  for (std::size_t i = 0; i < result.cells.size(); ++i) {
-    const CellResult& cell = result.cells[i];
-    out << "    {\n";
-    out << "      \"workload\": " << json_quote(cell.workload) << ",\n";
-    out << "      \"config\": " << json_quote(cell.config_label) << ",\n";
-    out << "      \"mode\": " << json_quote(to_string(cell.mode)) << ",\n";
-    out << "      \"seeds\": [";
-    for (std::size_t s = 0; s < cell.seeds.size(); ++s) {
-      if (s > 0) out << ",";
-      out << cell.seeds[s];
-    }
-    out << "],\n";
-    out << "      \"runtime\": ";
-    append_summary_json(out, cell.runtime);
-    out << ",\n";
-    out << "      \"stats\": {";
-    bool first = true;
-    for (const auto& [name, summary] : cell.stats) {
-      if (!first) out << ",";
-      first = false;
-      out << "\n        " << json_quote(name) << ": ";
-      append_summary_json(out, summary);
-    }
-    if (!cell.stats.empty()) out << "\n      ";
-    out << "}\n";
-    out << "    }" << (i + 1 < result.cells.size() ? "," : "") << "\n";
-  }
-  out << "  ]\n";
-  out << "}\n";
+  JsonStreamSink sink(out, "in-memory JSON");
+  replay(result, sink);
   return out.str();
 }
 
 std::string to_csv(const SweepResult& result) {
   std::ostringstream out;
-  out << "sweep,workload,config,mode,metric,count,mean,stddev,min,max\n";
-  for (const CellResult& cell : result.cells) {
-    const std::string prefix = result.name + "," + cell.workload + "," +
-                               cell.config_label + "," + to_string(cell.mode) +
-                               ",";
-    out << prefix << "runtime,";
-    append_summary_csv(out, cell.runtime);
-    out << "\n";
-    for (const auto& [name, summary] : cell.stats) {
-      out << prefix << name << ',';
-      append_summary_csv(out, summary);
-      out << "\n";
-    }
-  }
+  CsvStreamSink sink(out, "in-memory CSV");
+  replay(result, sink);
   return out.str();
 }
 
 void write_file(const std::string& path, const std::string& content) {
-  std::ofstream file(path, std::ios::binary | std::ios::trunc);
-  if (!file) throw std::runtime_error("cannot open " + path + " for writing");
-  file << content;
-  if (!file) throw std::runtime_error("failed writing " + path);
+  write_file_durable(path, content);
 }
 
 }  // namespace allarm::runner

@@ -5,22 +5,67 @@
 // count, wall clock, steal counts).  Two sweeps of the same spec therefore
 // produce byte-identical reports regardless of --jobs — the property the
 // determinism tests pin down.
+//
+// The writers are streaming ResultSinks: each cell serializes as it
+// arrives and is dropped, so report size never bounds sweep size.  Peak
+// memory is one cell, not one grid.  I/O failures surface as
+// std::runtime_error (from end() at the latest) — never as a silently
+// truncated report.
 #pragma once
 
+#include <ostream>
 #include <string>
 
+#include "runner/sink.hh"
 #include "runner/sweep.hh"
 
 namespace allarm::runner {
 
+/// Streams the canonical JSON document to `out`, one cell at a time.
+class JsonStreamSink : public ResultSink {
+ public:
+  /// `label` names the destination in error messages (a path, "stdout").
+  explicit JsonStreamSink(std::ostream& out, std::string label = "report");
+
+  void begin(const SweepMeta& meta) override;
+  void cell(CellResult&& cell) override;
+  void end() override;
+
+ private:
+  void check() const;  ///< Throws std::runtime_error when `out_` went bad.
+
+  std::ostream& out_;
+  std::string label_;
+  bool any_cell_ = false;
+};
+
+/// Streams the canonical long-format CSV to `out`: one row per
+/// (cell, metric), with ROI runtime reported as the metric "runtime".
+class CsvStreamSink : public ResultSink {
+ public:
+  explicit CsvStreamSink(std::ostream& out, std::string label = "report");
+
+  void begin(const SweepMeta& meta) override;
+  void cell(CellResult&& cell) override;
+  void end() override;
+
+ private:
+  void check() const;
+
+  std::ostream& out_;
+  std::string label_;
+  std::string sweep_name_;
+};
+
 /// Renders `result` as a JSON document (trailing newline included).
+/// Convenience wrapper over JsonStreamSink for in-memory results.
 std::string to_json(const SweepResult& result);
 
-/// Renders `result` as long-format CSV: one row per (cell, metric), with
-/// ROI runtime reported as the metric named "runtime".
+/// Renders `result` as long-format CSV.  Wrapper over CsvStreamSink.
 std::string to_csv(const SweepResult& result);
 
-/// Writes `content` to `path`; throws std::runtime_error on I/O failure.
+/// Writes `content` to `path` and fsyncs it; throws std::runtime_error on
+/// any I/O failure.
 void write_file(const std::string& path, const std::string& content);
 
 }  // namespace allarm::runner

@@ -1,12 +1,207 @@
 #include "runner/sweep.hh"
 
+#include <algorithm>
 #include <chrono>
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <optional>
 #include <stdexcept>
+#include <unordered_map>
+#include <utility>
 
+#include <sys/stat.h>
+
+#include "common/checksum.hh"
+#include "runner/journal.hh"
+#include "runner/sink.hh"
 #include "runner/thread_pool.hh"
 #include "workload/profiles.hh"
 
 namespace allarm::runner {
+
+namespace {
+
+bool file_exists(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+void validate_axes(const SweepSpec& spec) {
+  if (spec.workloads.empty() || spec.configs.empty() || spec.modes.empty() ||
+      spec.replicates == 0) {
+    throw std::invalid_argument("sweep '" + spec.name + "' has an empty axis");
+  }
+}
+
+// Drift guard: fold_config() below enumerates every SystemConfig field by
+// hand.  A new results-affecting field that is not folded would let two
+// different configurations share a spec hash — the silent mix-up the hash
+// exists to refuse — so growing the struct must fail loudly here until
+// fold_config() is updated (the size is stable on the LP64 targets this
+// simulator supports).
+static_assert(sizeof(SystemConfig) == 176,
+              "SystemConfig changed: update fold_config() to hash the new "
+              "field, then update this assert");
+
+void fold_config(Fnv1a64& h, const SystemConfig& c) {
+  const auto fold_cache = [&h](const CacheConfig& cache) {
+    h.update_u32(cache.size_bytes);
+    h.update_u32(cache.ways);
+    h.update_u64(static_cast<std::uint64_t>(cache.latency));
+  };
+  h.update_u32(c.num_cores);
+  h.update_double(c.core_freq_ghz);
+  fold_cache(c.l1i);
+  fold_cache(c.l1d);
+  fold_cache(c.l2);
+  h.update_u32(static_cast<std::uint32_t>(c.cache_replacement));
+  h.update_u32(c.probe_filter_coverage_bytes);
+  h.update_u32(c.probe_filter_ways);
+  h.update_u64(static_cast<std::uint64_t>(c.probe_filter_latency));
+  h.update_u32(static_cast<std::uint32_t>(c.probe_filter_replacement));
+  h.update_u32(static_cast<std::uint32_t>(c.directory_mode));
+  h.update_u32(c.allarm_parallel_local_probe ? 1 : 0);
+  h.update_u32(c.eviction_gates_reply ? 1 : 0);
+  h.update_u64(c.dram_total_bytes);
+  h.update_u64(static_cast<std::uint64_t>(c.dram_latency));
+  h.update_u64(static_cast<std::uint64_t>(c.dram_cycle));
+  h.update_u32(c.mesh_width);
+  h.update_u32(c.mesh_height);
+  h.update_u32(c.flit_bytes);
+  h.update_u32(c.control_msg_bytes);
+  h.update_u32(c.data_msg_bytes);
+  h.update_double(c.link_bandwidth_gbps);
+  h.update_u64(static_cast<std::uint64_t>(c.link_latency));
+  h.update_u64(static_cast<std::uint64_t>(c.router_latency));
+  h.update_u64(static_cast<std::uint64_t>(c.local_hop_latency));
+}
+
+/// The grid-order streaming fold shared by live runs and journal merges:
+/// pulls job results through `result_of`, assembles each cell, hands it to
+/// `sink`, drops it.  `job_indices` must be a grid-ordered subset of whole
+/// cells (replicates never split).
+class CellFolder {
+ public:
+  CellFolder(const SweepSpec& spec, const std::vector<Job>& jobs,
+             ResultSink& sink)
+      : spec_(spec), jobs_(jobs), sink_(sink) {}
+
+  /// Folds one result; must be called in grid order.
+  void fold(std::uint64_t job_index, core::RunResult&& result) {
+    const Job& job = jobs_[job_index];
+    if (fill_ == 0) {
+      cell_ = CellResult{};
+      cell_.workload = spec_.workloads[job.coord.workload];
+      cell_.config_label = spec_.configs[job.coord.config].label;
+      cell_.mode = spec_.modes[job.coord.mode];
+    }
+    cell_.seeds.push_back(job.request.seed);
+    cell_.runtime.add(static_cast<double>(result.runtime));
+    for (const auto& [stat, value] : result.stats.values()) {
+      cell_.stats[stat].add(value);
+    }
+    cell_.runs.push_back(std::move(result));
+    if (++fill_ == spec_.replicates) {
+      sink_.cell(std::move(cell_));
+      cell_ = CellResult{};
+      fill_ = 0;
+      ++cells_emitted_;
+    }
+  }
+
+  std::uint32_t partial_fill() const { return fill_; }
+  std::uint64_t cells_emitted() const { return cells_emitted_; }
+
+ private:
+  const SweepSpec& spec_;
+  const std::vector<Job>& jobs_;
+  ResultSink& sink_;
+  CellResult cell_;
+  std::uint32_t fill_ = 0;
+  std::uint64_t cells_emitted_ = 0;
+};
+
+/// Global job indices owned by `shard`, in grid order (whole cells).
+std::vector<std::uint64_t> owned_job_indices(const SweepSpec& spec,
+                                             const ShardSpec& shard) {
+  std::vector<std::uint64_t> owned;
+  const std::uint64_t cells = spec.cell_count();
+  for (std::uint64_t cell = 0; cell < cells; ++cell) {
+    if (!shard.owns_cell(cell)) continue;
+    for (std::uint32_t r = 0; r < spec.replicates; ++r) {
+      owned.push_back(cell * spec.replicates + r);
+    }
+  }
+  return owned;
+}
+
+void check_entry_seed(const std::string& path, const JournalEntry& entry,
+                      const std::vector<Job>& jobs) {
+  if (entry.seed != jobs[entry.job_index].request.seed) {
+    throw std::runtime_error(
+        "journal " + path + ": job " + std::to_string(entry.job_index) +
+        " was journaled with seed " + std::to_string(entry.seed) +
+        " but the spec derives " +
+        std::to_string(jobs[entry.job_index].request.seed) +
+        " — seed derivation mismatch, refusing to resume");
+  }
+}
+
+}  // namespace
+
+// ----------------------------------------------------------- spec identity ----
+
+SweepMeta meta_of(const SweepSpec& spec) {
+  SweepMeta meta;
+  meta.name = spec.name;
+  meta.base_seed = spec.base_seed;
+  meta.replicates = spec.replicates;
+  meta.accesses_per_thread = spec.accesses_per_thread;
+  return meta;
+}
+
+std::uint64_t spec_hash(const SweepSpec& spec) {
+  Fnv1a64 h;
+  h.update(std::string("allarm-sweep-v1"));
+  h.update(spec.name);
+  h.update_u64(spec.workloads.size());
+  for (const auto& w : spec.workloads) h.update(w);
+  h.update_u64(spec.configs.size());
+  for (const auto& point : spec.configs) {
+    h.update(point.label);
+    h.update_u32(static_cast<std::uint32_t>(point.policy));
+    fold_config(h, point.config);
+  }
+  h.update_u64(spec.modes.size());
+  for (const DirectoryMode mode : spec.modes) {
+    h.update_u32(static_cast<std::uint32_t>(mode));
+  }
+  h.update_u32(spec.replicates);
+  h.update_u64(spec.base_seed);
+  h.update_u64(spec.accesses_per_thread);
+  // A custom factory is code — unhashable.  Folding its presence at least
+  // separates custom-factory journals from default-factory ones.
+  h.update_u32(spec.make_workload ? 1 : 0);
+  // Fold every per-job seed: a change to the derivation scheme (or the
+  // base seed) changes the hash even when the axes look identical.
+  for (std::uint32_t w = 0; w < spec.workloads.size(); ++w) {
+    for (std::uint32_t r = 0; r < spec.replicates; ++r) {
+      h.update_u64(job_seed(spec.base_seed, w, r));
+    }
+  }
+  return h.digest();
+}
+
+void ShardSpec::validate() const {
+  if (count == 0 || index == 0 || index > count) {
+    throw std::invalid_argument("invalid shard " + std::to_string(index) +
+                                "/" + std::to_string(count) +
+                                " (want 1 <= K <= N)");
+  }
+}
+
+// ------------------------------------------------------------- SweepResult ----
 
 const CellResult* SweepResult::find(const std::string& workload,
                                     const std::string& config_label,
@@ -69,64 +264,252 @@ std::vector<Job> expand_jobs(const SweepSpec& spec) {
   return jobs;
 }
 
+// -------------------------------------------------------------- SweepRunner ----
+
 SweepRunner::SweepRunner(std::uint32_t jobs)
     : jobs_(jobs > 0 ? jobs : core::bench_jobs()) {}
 
 SweepResult SweepRunner::run(const SweepSpec& spec) const {
-  if (spec.workloads.empty() || spec.configs.empty() || spec.modes.empty() ||
-      spec.replicates == 0) {
-    throw std::invalid_argument("sweep '" + spec.name + "' has an empty axis");
+  SweepResult out;
+  CollectSink sink(out);
+  const StreamStats stats = run_streaming(spec, sink);
+  out.jobs_used = stats.jobs_used;
+  out.tasks_stolen = stats.tasks_stolen;
+  out.wall_seconds = stats.wall_seconds;
+  return out;
+}
+
+StreamStats SweepRunner::run_streaming(const SweepSpec& spec, ResultSink& sink,
+                                       const StreamOptions& options) const {
+  validate_axes(spec);
+  options.shard.validate();
+  if (options.resume && options.journal_path.empty()) {
+    throw std::invalid_argument("resume requires a journal path");
   }
   const auto start = std::chrono::steady_clock::now();
 
-  std::vector<Job> jobs = expand_jobs(spec);
-  std::vector<core::RunResult> results(jobs.size());
+  const std::vector<Job> jobs = expand_jobs(spec);
+  const std::vector<std::uint64_t> owned =
+      owned_job_indices(spec, options.shard);
 
-  // Each job writes only its preassigned slot, so the result layout — and
-  // everything aggregated from it — is scheduling-independent.
-  ThreadPool pool(jobs_);
-  for (std::size_t i = 0; i < jobs.size(); ++i) {
-    const Job& job = jobs[i];
-    core::RunResult& slot = results[i];
-    pool.submit([&job, &slot] { slot = core::run_request(job.request); });
-  }
-  pool.wait_idle();
+  StreamStats stats;
+  stats.jobs_total = owned.size();
 
-  SweepResult out;
-  out.name = spec.name;
-  out.base_seed = spec.base_seed;
-  out.replicates = spec.replicates;
-  out.accesses_per_thread = spec.accesses_per_thread;
-  out.jobs_used = pool.worker_count();
-  out.tasks_stolen = pool.steal_count();
-
-  // Aggregate in grid order: jobs are laid out workload-major with
-  // replicates innermost, so each cell is a contiguous slice.
-  std::size_t index = 0;
-  for (const auto& workload_name : spec.workloads) {
-    for (const auto& point : spec.configs) {
-      for (const DirectoryMode mode : spec.modes) {
-        CellResult cell;
-        cell.workload = workload_name;
-        cell.config_label = point.label;
-        cell.mode = mode;
-        for (std::uint32_t r = 0; r < spec.replicates; ++r, ++index) {
-          cell.seeds.push_back(jobs[index].request.seed);
-          cell.runtime.add(static_cast<double>(results[index].runtime));
-          for (const auto& [stat, value] : results[index].stats.values()) {
-            cell.stats[stat].add(value);
-          }
-          cell.runs.push_back(std::move(results[index]));
+  // The journal, and the already-done jobs a resume replays from it.
+  std::optional<Journal> journal;
+  std::unordered_map<std::uint64_t, JournalEntry> resumed;
+  if (!options.journal_path.empty()) {
+    JournalMeta meta;
+    meta.spec_hash = spec_hash(spec);
+    meta.job_count = jobs.size();
+    meta.base_seed = spec.base_seed;
+    meta.shard_index = options.shard.index;
+    meta.shard_count = options.shard.count;
+    const bool exists = file_exists(options.journal_path);
+    if (!options.resume && exists) {
+      // Never silently truncate journaled work — it is exactly the data
+      // the journal exists to protect.
+      throw std::runtime_error(
+          "journal " + options.journal_path +
+          " already exists; resume it (--resume) or delete it to start "
+          "fresh");
+    }
+    if (options.resume && exists) {
+      journal.emplace(Journal::open_resume(options.journal_path, meta));
+      for (const JournalEntry& entry : journal->index().entries) {
+        check_entry_seed(options.journal_path, entry, jobs);
+        if (!options.shard.owns_cell(entry.job_index / spec.replicates)) {
+          throw std::runtime_error("journal " + options.journal_path +
+                                   ": records job " +
+                                   std::to_string(entry.job_index) +
+                                   " outside this shard");
         }
-        out.cells.push_back(std::move(cell));
+        if (entry.payload_ok) resumed[entry.job_index] = entry;  // Last wins.
       }
+    } else {
+      journal.emplace(Journal::create(options.journal_path, meta));
     }
   }
 
-  out.wall_seconds =
+  // Completion plumbing must outlive the pool: if a sink throws mid-sweep,
+  // the pool's destructor still drains in-flight jobs, which push here.
+  std::mutex mutex;
+  std::condition_variable done_cv;
+  std::vector<std::pair<std::uint64_t, core::RunResult>> completed;
+
+  ThreadPool pool(jobs_);
+  const std::size_t window =
+      options.max_outstanding > 0
+          ? options.max_outstanding
+          : std::max<std::size_t>(16, std::size_t{4} * pool.worker_count());
+
+  sink.begin(meta_of(spec));
+  CellFolder folder(spec, jobs, sink);
+
+  // In-flight bookkeeping, all owned by this (the folding) thread.
+  std::map<std::uint64_t, core::RunResult> resident;  // Done, not yet folded.
+  std::size_t next = 0;          // Next owned[] position to issue.
+  std::size_t fold_pos = 0;      // Next owned[] position to fold.
+  std::size_t outstanding = 0;   // Issued but not yet folded.
+
+  const auto note_peak = [&] {
+    const std::size_t now = resident.size() + folder.partial_fill();
+    if (now > stats.peak_resident_results) stats.peak_resident_results = now;
+  };
+
+  while (fold_pos < owned.size()) {
+    // Issue jobs while the outstanding window has room.  Journaled jobs
+    // replay straight into `resident`; fresh jobs go to the pool.
+    while (next < owned.size() && outstanding < window) {
+      const std::uint64_t job_index = owned[next];
+      ++next;
+      ++outstanding;
+      const auto it = resumed.find(job_index);
+      if (it != resumed.end()) {
+        resident.emplace(job_index, journal->read_payload(it->second));
+        ++stats.jobs_resumed;
+        note_peak();
+      } else {
+        const Job& job = jobs[job_index];
+        pool.submit([&job, job_index, &mutex, &done_cv, &completed] {
+          core::RunResult result = core::run_request(job.request);
+          {
+            std::lock_guard<std::mutex> lock(mutex);
+            completed.emplace_back(job_index, std::move(result));
+          }
+          done_cv.notify_one();
+        });
+        ++stats.jobs_executed;
+      }
+    }
+
+    // Collect finished jobs.  Block only when neither issuing nor folding
+    // can make progress — then some pool job is still running and its
+    // completion is the only possible next event.
+    std::vector<std::pair<std::uint64_t, core::RunResult>> batch;
+    {
+      std::unique_lock<std::mutex> lock(mutex);
+      if (completed.empty()) {
+        const bool can_issue = next < owned.size() && outstanding < window;
+        const bool can_fold =
+            fold_pos < owned.size() && resident.count(owned[fold_pos]) > 0;
+        if (!can_issue && !can_fold) {
+          done_cv.wait(lock, [&] { return !completed.empty(); });
+        }
+      }
+      batch.swap(completed);
+    }
+    for (auto& [job_index, result] : batch) {
+      if (journal) {
+        journal->append(job_index, jobs[job_index].request.seed, result);
+      }
+      resident.emplace(job_index, std::move(result));
+    }
+    note_peak();
+
+    // Fold the contiguous completed prefix, in grid order.
+    while (fold_pos < owned.size()) {
+      const auto it = resident.find(owned[fold_pos]);
+      if (it == resident.end()) break;
+      core::RunResult result = std::move(it->second);
+      resident.erase(it);
+      folder.fold(owned[fold_pos], std::move(result));
+      ++fold_pos;
+      --outstanding;
+    }
+  }
+
+  pool.wait_idle();  // All owned jobs folded, so this returns immediately.
+  sink.end();
+  if (journal) journal->close();
+
+  stats.jobs_used = pool.worker_count();
+  stats.tasks_stolen = pool.steal_count();
+  stats.cells_emitted = folder.cells_emitted();
+  stats.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
-  return out;
+  return stats;
+}
+
+// ----------------------------------------------------------- journal merge ----
+
+StreamStats merge_journals(const SweepSpec& spec,
+                           const std::vector<std::string>& journal_paths,
+                           ResultSink& sink) {
+  validate_axes(spec);
+  if (journal_paths.empty()) {
+    throw std::invalid_argument("merge needs at least one journal");
+  }
+  const auto start = std::chrono::steady_clock::now();
+
+  const std::vector<Job> jobs = expand_jobs(spec);
+  const std::uint64_t expected_hash = spec_hash(spec);
+
+  std::vector<Journal> journals;
+  journals.reserve(journal_paths.size());
+  // where[job] = (journal position, entry) of the winning record.
+  std::vector<std::optional<std::pair<std::size_t, JournalEntry>>> where(
+      jobs.size());
+
+  for (std::size_t j = 0; j < journal_paths.size(); ++j) {
+    const std::string& path = journal_paths[j];
+    Journal journal = Journal::open_read(path);
+    const JournalMeta& meta = journal.meta();
+    if (meta.spec_hash != expected_hash) {
+      throw std::runtime_error("journal " + path +
+                               ": spec hash mismatch — it records a "
+                               "different sweep than the one being merged");
+    }
+    if (meta.job_count != jobs.size() || meta.base_seed != spec.base_seed) {
+      throw std::runtime_error("journal " + path +
+                               ": grid shape or base seed mismatch");
+    }
+    for (const JournalEntry& entry : journal.index().entries) {
+      if (!entry.payload_ok) continue;  // Damaged payload: job is missing.
+      check_entry_seed(path, entry, jobs);
+      auto& slot = where[entry.job_index];
+      if (slot && slot->first != j) {
+        throw std::runtime_error(
+            "journals " + journal_paths[slot->first] + " and " + path +
+            " overlap at job " + std::to_string(entry.job_index) +
+            " — shards must partition the grid");
+      }
+      slot = std::make_pair(j, entry);  // Within one journal, last wins.
+    }
+    journals.push_back(std::move(journal));
+  }
+
+  std::uint64_t missing = 0;
+  for (const auto& slot : where) {
+    if (!slot) ++missing;
+  }
+  if (missing > 0) {
+    throw std::runtime_error(
+        "merge is incomplete: " + std::to_string(missing) + " of " +
+        std::to_string(jobs.size()) +
+        " jobs appear in no journal (did every shard finish?)");
+  }
+
+  StreamStats stats;
+  stats.jobs_total = jobs.size();
+  stats.jobs_resumed = jobs.size();
+
+  sink.begin(meta_of(spec));
+  CellFolder folder(spec, jobs, sink);
+  for (std::uint64_t job_index = 0; job_index < jobs.size(); ++job_index) {
+    const auto& [journal_pos, entry] = *where[job_index];
+    folder.fold(job_index, journals[journal_pos].read_payload(entry));
+    const std::size_t now = folder.partial_fill();
+    if (now > stats.peak_resident_results) stats.peak_resident_results = now;
+  }
+  sink.end();
+
+  stats.cells_emitted = folder.cells_emitted();
+  stats.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return stats;
 }
 
 }  // namespace allarm::runner

@@ -3,10 +3,22 @@
 // The paper's figures are grids — (workload x configuration x directory
 // mode), usually with the same workload stream replayed on every machine
 // variant.  A SweepSpec describes such a grid once; SweepRunner shards the
-// fully-independent jobs across host cores and folds the results into a
-// SweepResult whose content is bit-identical at any --jobs setting (seeds
-// come from grid coordinates, result slots are preassigned, aggregation
-// runs in grid order).
+// fully-independent jobs across host cores and streams finished cells, in
+// grid order, into a ResultSink (see runner/sink.hh).  Output content is
+// bit-identical at any --jobs setting (seeds come from grid coordinates,
+// cells fold in grid order behind a completion frontier).
+//
+// Three execution shapes share that core:
+//
+//  - run():           fold everything into an in-memory SweepResult
+//                     (the figure benches' random-access case);
+//  - run_streaming(): emit each CellResult as its last replicate finishes
+//                     and drop it — O(jobs), not O(grid), results stay
+//                     resident; optionally journal every finished job to
+//                     disk (resume) and restrict execution to one shard of
+//                     the cell grid (multi-machine / CI-matrix sweeps);
+//  - merge_journals(): fold N partial shard journals into the same bytes a
+//                     single-machine run of the full grid produces.
 #pragma once
 
 #include <cstdint>
@@ -22,6 +34,8 @@
 #include "workload/spec.hh"
 
 namespace allarm::runner {
+
+class ResultSink;  // runner/sink.hh
 
 /// One point on the configuration axis: a labelled machine variant.
 struct ConfigPoint {
@@ -49,11 +63,34 @@ struct SweepSpec {
   /// Defaults to workload::make_benchmark; tests substitute tiny profiles.
   WorkloadFactory make_workload;
 
-  std::uint64_t job_count() const {
+  std::uint64_t cell_count() const {
     return static_cast<std::uint64_t>(workloads.size()) * configs.size() *
-           modes.size() * replicates;
+           modes.size();
   }
+
+  std::uint64_t job_count() const { return cell_count() * replicates; }
 };
+
+/// Identity of a sweep, condensed for the report header and the journal
+/// stamp.  Derivable from either a SweepSpec or a SweepResult.
+struct SweepMeta {
+  std::string name;
+  std::uint64_t base_seed = 0;
+  std::uint32_t replicates = 1;
+  std::uint64_t accesses_per_thread = 0;
+};
+
+SweepMeta meta_of(const SweepSpec& spec);
+
+/// Hash of everything serializable that determines a sweep's results:
+/// axes, labels, machine geometry, seeds (i.e. the seed-derivation
+/// scheme), replicates and access budget.  A journal stamped with a
+/// different hash must not be resumed — the jobs it records are not the
+/// jobs the spec would run.  Caveat: a custom `make_workload` factory is
+/// code and cannot be hashed; the hash distinguishes custom-vs-default
+/// but NOT two different custom factories, so callers substituting
+/// factories must not resume across factory changes.
+std::uint64_t spec_hash(const SweepSpec& spec);
 
 /// Aggregated results of one grid cell.
 struct CellResult {
@@ -65,6 +102,20 @@ struct CellResult {
   std::vector<core::RunResult> runs;    ///< Per-replicate raw results.
   Summary runtime;                      ///< ROI runtime across replicates.
   std::map<std::string, Summary> stats; ///< Per-statistic aggregates.
+
+  /// Copy of everything except the raw `runs` (they dominate the
+  /// footprint).  The one place that knows which fields a report carries;
+  /// used wherever a cell fans out to sinks that never read runs.
+  CellResult summary_copy() const {
+    CellResult copy;
+    copy.workload = workload;
+    copy.config_label = config_label;
+    copy.mode = mode;
+    copy.seeds = seeds;
+    copy.runtime = runtime;
+    copy.stats = stats;
+    return copy;
+  }
 };
 
 /// All cells of a sweep, in grid order.
@@ -94,6 +145,61 @@ struct SweepResult {
                         std::uint32_t replicate = 0) const;
 };
 
+/// One shard of a sweep: `index` of `count`, 1-based (the `--shard K/N`
+/// notation).  Shards partition the CELL grid — a cell's replicates never
+/// split across shards, so every shard can fold its cells' summaries
+/// locally and a merge is a pure grid-order interleave.
+struct ShardSpec {
+  std::uint32_t index = 1;
+  std::uint32_t count = 1;
+
+  /// True when this shard owns cell `cell_index` (round-robin by cell, so
+  /// adjacent — similarly expensive — cells spread across shards).
+  bool owns_cell(std::uint64_t cell_index) const {
+    return cell_index % count == static_cast<std::uint64_t>(index) - 1;
+  }
+
+  /// Throws std::invalid_argument unless 1 <= index <= count.
+  void validate() const;
+};
+
+/// Options for run_streaming().
+struct StreamOptions {
+  /// When non-empty, every finished job is appended to this journal (plus
+  /// its `.data` payload sidecar) so the sweep survives a kill -9.
+  /// Without `resume`, the journal must not already exist (an existing one
+  /// is journaled work; truncating it silently would defeat the point).
+  std::string journal_path;
+  /// Resume from an existing journal at `journal_path`: jobs it records
+  /// are not re-run; their results replay from disk into the sink.  The
+  /// journal's spec hash, shard and per-job seeds must match `spec`.
+  bool resume = false;
+  ShardSpec shard;
+  /// Upper bound on jobs in flight plus finished-but-unfolded results —
+  /// the knob that makes peak residency O(jobs) instead of O(grid).
+  /// 0 = 4x the worker count (at least 16).
+  std::size_t max_outstanding = 0;
+};
+
+/// Execution metadata of one run_streaming() call.  Never serialized into
+/// reports (scheduling-dependent); `peak_resident_results` is the test
+/// hook that pins the O(jobs) residency guarantee.
+struct StreamStats {
+  std::uint32_t jobs_used = 1;
+  std::uint64_t tasks_stolen = 0;
+  double wall_seconds = 0.0;
+  std::uint64_t jobs_total = 0;     ///< Jobs owned by this shard.
+  std::uint64_t jobs_executed = 0;  ///< Simulated this run.
+  std::uint64_t jobs_resumed = 0;   ///< Replayed from the journal.
+  std::uint64_t cells_emitted = 0;
+  /// Max count of RunResults resident at once (in flight, awaiting the
+  /// grid-order fold, or folded into the partially-assembled cell).
+  /// Bounded by StreamOptions::max_outstanding + (replicates - 1): a
+  /// result moved into the current cell leaves the admission window but
+  /// stays resident until the cell's last replicate emits it.
+  std::size_t peak_resident_results = 0;
+};
+
 /// Executes sweeps on a work-stealing pool.
 class SweepRunner {
  public:
@@ -101,15 +207,31 @@ class SweepRunner {
   /// hardware concurrency).
   explicit SweepRunner(std::uint32_t jobs = 0);
 
-  /// Runs every job of `spec` and aggregates.  Output content depends only
-  /// on the spec, never on the worker count or scheduling.
+  /// Runs every job of `spec` and aggregates into memory.  Output content
+  /// depends only on the spec, never on worker count or scheduling.
   SweepResult run(const SweepSpec& spec) const;
+
+  /// Streaming core: runs the jobs of `options.shard`, folds each cell in
+  /// grid order into `sink` as its last replicate completes, then drops
+  /// it.  With a journal path, finished jobs persist as they complete and
+  /// `options.resume` skips already-journaled jobs.  Sink calls happen on
+  /// the calling thread.
+  StreamStats run_streaming(const SweepSpec& spec, ResultSink& sink,
+                            const StreamOptions& options = {}) const;
 
   std::uint32_t jobs() const { return jobs_; }
 
  private:
   std::uint32_t jobs_;
 };
+
+/// Folds the partial journals of a sharded sweep (any order) into `sink`,
+/// producing byte-identical output to a single-machine run of `spec`.
+/// Every journal must carry the spec's hash; together they must cover
+/// every job exactly once.  Returns stats with jobs_resumed = job count.
+StreamStats merge_journals(const SweepSpec& spec,
+                           const std::vector<std::string>& journal_paths,
+                           ResultSink& sink);
 
 /// Materializes the job list of `spec` in grid order (exposed for tests).
 std::vector<Job> expand_jobs(const SweepSpec& spec);

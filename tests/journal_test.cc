@@ -1,0 +1,584 @@
+// Tests for the streaming sweep chassis: the on-disk journal (torn-record
+// recovery, checksums, spec-hash stamping), resume/shard/merge
+// determinism, and the O(jobs) residency guarantee of run_streaming.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <random>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/checksum.hh"
+#include "common/fileio.hh"
+#include "core/experiment.hh"
+#include "runner/journal.hh"
+#include "runner/report.hh"
+#include "runner/sink.hh"
+#include "runner/sweep.hh"
+#include "workload/profiles.hh"
+
+namespace allarm {
+namespace {
+
+// ------------------------------------------------------------- utilities ----
+
+/// Fresh path under the gtest temp dir, unique per test.
+std::string temp_path(const std::string& stem) {
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  return ::testing::TempDir() + std::string(info->test_suite_name()) + "_" +
+         info->name() + "_" + stem;
+}
+
+void remove_journal(const std::string& path) {
+  std::remove(path.c_str());
+  std::remove(runner::journal_data_path(path).c_str());
+}
+
+void truncate_file(const std::string& path, std::uint64_t size) {
+  File file(path, File::Mode::kReadWrite);
+  file.truncate(size);
+}
+
+void append_bytes(const std::string& path, const std::string& bytes) {
+  File file(path, File::Mode::kReadWrite);
+  file.write_at(file.size(), bytes.data(), bytes.size());
+}
+
+void flip_byte(const std::string& path, std::uint64_t offset) {
+  File file(path, File::Mode::kReadWrite);
+  unsigned char b = 0;
+  file.read_at(offset, &b, 1);
+  b ^= 0xFF;
+  file.write_at(offset, &b, 1);
+}
+
+core::RunResult sample_result(int salt) {
+  core::RunResult result;
+  result.runtime = static_cast<Tick>(1000 + salt);
+  result.thread_finish = {static_cast<Tick>(10 + salt),
+                          static_cast<Tick>(20 + salt)};
+  result.stats.set("cache.misses", 17.0 + salt);
+  result.stats.set("noc.bytes", 0.5 * salt);
+  return result;
+}
+
+runner::JournalMeta sample_meta() {
+  runner::JournalMeta meta;
+  meta.spec_hash = 0xDEADBEEFCAFEF00Dull;
+  meta.job_count = 64;
+  meta.base_seed = 42;
+  return meta;
+}
+
+/// Same tiny machine/workloads as runner_test: milliseconds per sweep.
+SystemConfig tiny_config() {
+  SystemConfig config;
+  config.num_cores = 4;
+  config.mesh_width = 2;
+  config.mesh_height = 2;
+  config.l1i = CacheConfig{4 * kLineBytes, 2, ticks_from_ns(1.0)};
+  config.l1d = CacheConfig{4 * kLineBytes, 2, ticks_from_ns(1.0)};
+  config.l2 = CacheConfig{16 * kLineBytes, 2, ticks_from_ns(1.0)};
+  config.probe_filter_coverage_bytes = 32 * kLineBytes;
+  return config;
+}
+
+workload::WorkloadSpec tiny_workload(const std::string& name,
+                                     const SystemConfig& config,
+                                     std::uint64_t accesses) {
+  workload::ProfileParams params;
+  params.name = name;
+  params.hot_bytes = 8 * 1024;
+  params.cold_bytes = 8 * 1024;
+  params.kernel_bytes = 32 * 1024;
+  params.shared_bytes = 16 * 1024;
+  params.pattern = name == "alpha" ? workload::SharedPattern::kUniform
+                                   : workload::SharedPattern::kZipf;
+  return workload::make_from_params(params, config, accesses, 4);
+}
+
+runner::SweepSpec tiny_spec() {
+  runner::SweepSpec spec;
+  spec.name = "tiny";
+  spec.workloads = {"alpha", "beta"};
+  spec.configs = {{"small", tiny_config()}};
+  spec.modes = {DirectoryMode::kBaseline, DirectoryMode::kAllarm};
+  spec.replicates = 2;
+  spec.base_seed = 7;
+  spec.accesses_per_thread = 200;
+  spec.make_workload = tiny_workload;
+  return spec;
+}
+
+/// Streams `spec` to a JSON string through run_streaming.
+std::string stream_json(const runner::SweepSpec& spec, std::uint32_t jobs,
+                        const runner::StreamOptions& options = {},
+                        runner::StreamStats* stats_out = nullptr) {
+  std::ostringstream out;
+  runner::JsonStreamSink sink(out);
+  const runner::StreamStats stats =
+      runner::SweepRunner(jobs).run_streaming(spec, sink, options);
+  if (stats_out != nullptr) *stats_out = stats;
+  return out.str();
+}
+
+// -------------------------------------------------------------- checksums ----
+
+TEST(Checksum, Crc32cKnownAnswers) {
+  EXPECT_EQ(crc32c("123456789"), 0xE3069283u);  // Canonical CRC32C vector.
+  EXPECT_EQ(crc32c(""), 0x00000000u);
+  // Incremental == one-shot.
+  const std::string text = "streaming sweep journal";
+  const std::uint32_t part = crc32c(text.substr(0, 9));
+  EXPECT_EQ(crc32c(text.substr(9), part), crc32c(text));
+}
+
+TEST(Checksum, Fnv1a64IsOrderAndLengthSensitive) {
+  Fnv1a64 a, b, c;
+  a.update(std::string("ab"));
+  a.update(std::string("c"));
+  b.update(std::string("a"));
+  b.update(std::string("bc"));
+  c.update(std::string("abc"));
+  EXPECT_NE(a.digest(), b.digest());  // Length prefix separates the folds.
+  EXPECT_NE(a.digest(), c.digest());
+  Fnv1a64 d;
+  d.update(std::string("abc"));
+  EXPECT_EQ(c.digest(), d.digest());
+}
+
+// ---------------------------------------------------------- serialization ----
+
+TEST(RunResultSerialization, RoundTrips) {
+  const core::RunResult original = sample_result(3);
+  const std::string blob = runner::serialize_run_result(original);
+  const core::RunResult restored =
+      runner::deserialize_run_result(blob.data(), blob.size());
+  EXPECT_EQ(restored.runtime, original.runtime);
+  EXPECT_EQ(restored.thread_finish, original.thread_finish);
+  EXPECT_EQ(restored.stats.values(), original.stats.values());
+}
+
+TEST(RunResultSerialization, RejectsTruncatedAndTrailingBytes) {
+  const std::string blob = runner::serialize_run_result(sample_result(1));
+  EXPECT_THROW(runner::deserialize_run_result(blob.data(), blob.size() - 1),
+               std::runtime_error);
+  const std::string padded = blob + "x";
+  EXPECT_THROW(runner::deserialize_run_result(padded.data(), padded.size()),
+               std::runtime_error);
+}
+
+// ------------------------------------------------------------- journal IO ----
+
+TEST(Journal, RoundTripsRecordsAndPayloads) {
+  const std::string path = temp_path("journal");
+  remove_journal(path);
+  {
+    auto journal = runner::Journal::create(path, sample_meta());
+    journal.append(0, 111, sample_result(0));
+    journal.append(5, 222, sample_result(5));
+    journal.append(9, 333, sample_result(9));
+    journal.close();
+  }
+  auto journal = runner::Journal::open_read(path);
+  EXPECT_EQ(journal.meta().spec_hash, sample_meta().spec_hash);
+  ASSERT_EQ(journal.record_count(), 3u);
+  const auto& entries = journal.index().entries;
+  EXPECT_EQ(entries[1].job_index, 5u);
+  EXPECT_EQ(entries[1].seed, 222u);
+  EXPECT_TRUE(entries[1].payload_ok);
+  const core::RunResult restored = journal.read_payload(entries[1]);
+  EXPECT_EQ(restored.stats.values(), sample_result(5).stats.values());
+  EXPECT_EQ(journal.index().dropped_records, 0u);
+  remove_journal(path);
+}
+
+TEST(Journal, RecoversFromTornFinalRecord) {
+  const std::string path = temp_path("journal");
+  remove_journal(path);
+  {
+    auto journal = runner::Journal::create(path, sample_meta());
+    for (int i = 0; i < 4; ++i) {
+      journal.append(i, 100 + i, sample_result(i));
+    }
+    journal.close();
+  }
+  // A kill mid-append leaves a partial trailing record.
+  truncate_file(path, runner::Journal::kHeaderSize +
+                          2 * runner::Journal::kRecordSize + 13);
+
+  const runner::JournalIndex index = runner::Journal::load_index(path);
+  EXPECT_EQ(index.entries.size(), 2u);
+  EXPECT_EQ(index.dropped_records, 1u);  // The torn tail.
+
+  // Resume truncates the tail and appends cleanly after it.
+  {
+    auto journal = runner::Journal::open_resume(path, sample_meta());
+    EXPECT_EQ(journal.record_count(), 2u);
+    journal.append(2, 102, sample_result(2));
+    journal.close();
+  }
+  const runner::JournalIndex after = runner::Journal::load_index(path);
+  EXPECT_EQ(after.entries.size(), 3u);
+  EXPECT_TRUE(after.entries.back().payload_ok);
+  remove_journal(path);
+}
+
+TEST(Journal, DropsRecordsFromFirstCorruptOne) {
+  const std::string path = temp_path("journal");
+  remove_journal(path);
+  {
+    auto journal = runner::Journal::create(path, sample_meta());
+    for (int i = 0; i < 3; ++i) journal.append(i, i, sample_result(i));
+    journal.close();
+  }
+  // Corrupt record 1: it and everything after is untrusted.
+  flip_byte(path, runner::Journal::kHeaderSize + runner::Journal::kRecordSize +
+                      4);
+  const runner::JournalIndex index = runner::Journal::load_index(path);
+  EXPECT_EQ(index.entries.size(), 1u);
+  EXPECT_EQ(index.dropped_records, 2u);
+  remove_journal(path);
+}
+
+TEST(Journal, FlagsCorruptPayloadWithoutLosingLaterRecords) {
+  const std::string path = temp_path("journal");
+  remove_journal(path);
+  std::uint64_t payload0_offset = 0;
+  {
+    auto journal = runner::Journal::create(path, sample_meta());
+    journal.append(0, 0, sample_result(0));
+    journal.append(1, 1, sample_result(1));
+    payload0_offset = journal.index().entries[0].payload_offset;
+    journal.close();
+  }
+  flip_byte(runner::journal_data_path(path), payload0_offset + 2);
+  const runner::JournalIndex index = runner::Journal::load_index(path);
+  ASSERT_EQ(index.entries.size(), 2u);
+  EXPECT_FALSE(index.entries[0].payload_ok);  // Job 0 must re-run...
+  EXPECT_TRUE(index.entries[1].payload_ok);   // ...job 1 is still good.
+  remove_journal(path);
+}
+
+TEST(Journal, TornPayloadTailInvalidatesItsRecord) {
+  const std::string path = temp_path("journal");
+  remove_journal(path);
+  {
+    auto journal = runner::Journal::create(path, sample_meta());
+    journal.append(0, 0, sample_result(0));
+    journal.append(1, 1, sample_result(1));
+    journal.close();
+  }
+  // Chop the last payload short: its record now points past EOF.
+  const std::string data = runner::journal_data_path(path);
+  truncate_file(data, File(data, File::Mode::kRead).size() - 5);
+  const runner::JournalIndex index = runner::Journal::load_index(path);
+  EXPECT_EQ(index.entries.size(), 1u);
+  EXPECT_EQ(index.dropped_records, 1u);
+  remove_journal(path);
+}
+
+TEST(Journal, RejectsMetaMismatchOnResume) {
+  const std::string path = temp_path("journal");
+  remove_journal(path);
+  runner::Journal::create(path, sample_meta()).close();
+
+  runner::JournalMeta other = sample_meta();
+  other.spec_hash ^= 1;
+  EXPECT_THROW(runner::Journal::open_resume(path, other), std::runtime_error);
+  other = sample_meta();
+  other.job_count += 1;
+  EXPECT_THROW(runner::Journal::open_resume(path, other), std::runtime_error);
+  other = sample_meta();
+  other.shard_index = 2;
+  other.shard_count = 2;
+  EXPECT_THROW(runner::Journal::open_resume(path, other), std::runtime_error);
+  EXPECT_NO_THROW(runner::Journal::open_resume(path, sample_meta()).close());
+  remove_journal(path);
+}
+
+TEST(Journal, RejectsGarbageHeader) {
+  const std::string path = temp_path("journal");
+  remove_journal(path);
+  {
+    std::ofstream f(path, std::ios::binary);
+    f << "this is not a journal, not even 64 bytes of one";
+  }
+  { std::ofstream f(runner::journal_data_path(path), std::ios::binary); }
+  EXPECT_THROW(runner::Journal::load_index(path), std::runtime_error);
+  append_bytes(path, std::string(64, '\0'));
+  EXPECT_THROW(runner::Journal::load_index(path), std::runtime_error);
+  remove_journal(path);
+}
+
+// ------------------------------------------------------------- spec hash ----
+
+TEST(SpecHash, SensitiveToEverythingThatChangesResults) {
+  const runner::SweepSpec spec = tiny_spec();
+  const std::uint64_t base = runner::spec_hash(spec);
+
+  auto changed = spec;
+  changed.base_seed = 8;
+  EXPECT_NE(runner::spec_hash(changed), base);
+  changed = spec;
+  changed.accesses_per_thread = 300;
+  EXPECT_NE(runner::spec_hash(changed), base);
+  changed = spec;
+  changed.replicates = 3;
+  EXPECT_NE(runner::spec_hash(changed), base);
+  changed = spec;
+  changed.workloads.push_back("gamma");
+  EXPECT_NE(runner::spec_hash(changed), base);
+  changed = spec;
+  changed.configs[0].config.probe_filter_coverage_bytes *= 2;
+  EXPECT_NE(runner::spec_hash(changed), base);
+  changed = spec;
+  changed.modes = {DirectoryMode::kBaseline};
+  EXPECT_NE(runner::spec_hash(changed), base);
+
+  EXPECT_EQ(runner::spec_hash(spec), base);  // And stable.
+}
+
+// ------------------------------------------------------------- sharding ----
+
+TEST(ShardSpec, ValidatesBounds) {
+  EXPECT_NO_THROW((runner::ShardSpec{1, 1}).validate());
+  EXPECT_NO_THROW((runner::ShardSpec{3, 3}).validate());
+  EXPECT_THROW((runner::ShardSpec{0, 2}).validate(), std::invalid_argument);
+  EXPECT_THROW((runner::ShardSpec{3, 2}).validate(), std::invalid_argument);
+  EXPECT_THROW((runner::ShardSpec{1, 0}).validate(), std::invalid_argument);
+}
+
+TEST(ShardSpec, PartitionsEveryCellExactlyOnce) {
+  for (const std::uint32_t shards : {1u, 2u, 3u, 5u, 8u}) {
+    for (const std::uint64_t cells : {1ull, 4ull, 10ull, 37ull}) {
+      for (std::uint64_t cell = 0; cell < cells; ++cell) {
+        std::uint32_t owners = 0;
+        for (std::uint32_t k = 1; k <= shards; ++k) {
+          if (runner::ShardSpec{k, shards}.owns_cell(cell)) ++owners;
+        }
+        EXPECT_EQ(owners, 1u) << "cell " << cell << " of " << cells << " in "
+                              << shards << " shards";
+      }
+    }
+  }
+}
+
+TEST(ShardSpec, EveryJobLandsInExactlyOneShard) {
+  auto spec = tiny_spec();
+  spec.workloads = {"alpha", "beta", "gamma"};  // 6 cells, 12 jobs.
+  const auto jobs = runner::expand_jobs(spec);
+  for (const std::uint32_t shards : {1u, 2u, 4u, 7u}) {
+    std::multiset<std::uint64_t> seen;
+    for (std::uint64_t job = 0; job < jobs.size(); ++job) {
+      const std::uint64_t cell = job / spec.replicates;
+      for (std::uint32_t k = 1; k <= shards; ++k) {
+        if (runner::ShardSpec{k, shards}.owns_cell(cell)) seen.insert(job);
+      }
+    }
+    EXPECT_EQ(seen.size(), jobs.size());
+    for (std::uint64_t job = 0; job < jobs.size(); ++job) {
+      EXPECT_EQ(seen.count(job), 1u);
+    }
+  }
+}
+
+// ------------------------------------------------- streaming determinism ----
+
+TEST(Streaming, MatchesCollectedReportsAtAnyJobCount) {
+  const auto spec = tiny_spec();
+  const runner::SweepResult collected = runner::SweepRunner(4).run(spec);
+  const std::string reference = runner::to_json(collected);
+  EXPECT_EQ(stream_json(spec, 1), reference);
+  EXPECT_EQ(stream_json(spec, 8), reference);
+
+  std::ostringstream csv_out;
+  runner::CsvStreamSink csv_sink(csv_out);
+  runner::SweepRunner(3).run_streaming(spec, csv_sink);
+  EXPECT_EQ(csv_out.str(), runner::to_csv(collected));
+}
+
+TEST(Streaming, PeakResidencyIsBoundedByTheWindowNotTheGrid) {
+  auto spec = tiny_spec();
+  // 16 cells x 1 replicate = 16 jobs; far more than the window.
+  spec.workloads = {"w0", "w1", "w2", "w3", "w4", "w5", "w6", "w7"};
+  spec.replicates = 1;
+  spec.accesses_per_thread = 100;
+
+  runner::StreamOptions options;
+  options.max_outstanding = 4;
+  runner::StreamStats stats;
+  const std::string windowed = stream_json(spec, 2, options, &stats);
+
+  EXPECT_EQ(stats.jobs_total, 16u);
+  EXPECT_EQ(stats.cells_emitted, 16u);
+  EXPECT_LE(stats.peak_resident_results, 4u);  // O(jobs), not O(grid).
+  EXPECT_GT(stats.peak_resident_results, 0u);
+
+  // The throttle must not change a single output byte.
+  EXPECT_EQ(windowed, stream_json(spec, 2));
+}
+
+TEST(Streaming, ShardsEmitDisjointCellsAndMergeReproducesTheWhole) {
+  const auto spec = tiny_spec();
+  const std::string reference = stream_json(spec, 2);
+
+  const std::string j1 = temp_path("shard1");
+  const std::string j2 = temp_path("shard2");
+  remove_journal(j1);
+  remove_journal(j2);
+
+  runner::StreamOptions options;
+  options.journal_path = j1;
+  options.shard = {1, 2};
+  runner::StreamStats s1;
+  stream_json(spec, 2, options, &s1);
+  options.journal_path = j2;
+  options.shard = {2, 2};
+  runner::StreamStats s2;
+  stream_json(spec, 2, options, &s2);
+  EXPECT_EQ(s1.jobs_total + s2.jobs_total, spec.job_count());
+  EXPECT_EQ(s1.cells_emitted + s2.cells_emitted, spec.cell_count());
+
+  std::ostringstream merged;
+  runner::JsonStreamSink sink(merged);
+  const runner::StreamStats stats =
+      runner::merge_journals(spec, {j2, j1}, sink);  // Order must not matter.
+  EXPECT_EQ(stats.jobs_resumed, spec.job_count());
+  EXPECT_EQ(merged.str(), reference);
+
+  remove_journal(j1);
+  remove_journal(j2);
+}
+
+TEST(Streaming, MergeRejectsOverlapAndIncompleteCoverage) {
+  const auto spec = tiny_spec();
+  const std::string j1 = temp_path("shard1");
+  remove_journal(j1);
+
+  runner::StreamOptions options;
+  options.journal_path = j1;
+  options.shard = {1, 2};
+  stream_json(spec, 2, options);
+
+  std::ostringstream out;
+  runner::JsonStreamSink sink(out);
+  // Half the grid missing.
+  EXPECT_THROW(runner::merge_journals(spec, {j1}, sink), std::runtime_error);
+  // Same shard twice: overlapping jobs.
+  std::ostringstream out2;
+  runner::JsonStreamSink sink2(out2);
+  EXPECT_THROW(runner::merge_journals(spec, {j1, j1}, sink2),
+               std::runtime_error);
+  remove_journal(j1);
+}
+
+TEST(Streaming, RefusesToTruncateAnExistingJournalWithoutResume) {
+  const auto spec = tiny_spec();
+  const std::string path = temp_path("journal");
+  remove_journal(path);
+
+  runner::StreamOptions options;
+  options.journal_path = path;
+  stream_json(spec, 2, options);  // First run journals to completion.
+
+  // Rerunning without resume must refuse, not wipe the journaled work.
+  std::ostringstream out;
+  runner::JsonStreamSink sink(out);
+  EXPECT_THROW(runner::SweepRunner(2).run_streaming(spec, sink, options),
+               std::runtime_error);
+  EXPECT_EQ(runner::Journal::load_index(path).entries.size(),
+            spec.job_count());  // Untouched.
+  remove_journal(path);
+}
+
+TEST(Streaming, ResumeRejectsSeedDerivationMismatch) {
+  const auto spec = tiny_spec();
+  const auto jobs = runner::expand_jobs(spec);
+  const std::string path = temp_path("journal");
+  remove_journal(path);
+
+  runner::JournalMeta meta;
+  meta.spec_hash = runner::spec_hash(spec);
+  meta.job_count = jobs.size();
+  meta.base_seed = spec.base_seed;
+  {
+    auto journal = runner::Journal::create(path, meta);
+    // Journaled under a seed the spec does not derive.
+    journal.append(0, jobs[0].request.seed + 1, sample_result(0));
+    journal.close();
+  }
+  runner::StreamOptions options;
+  options.journal_path = path;
+  options.resume = true;
+  std::ostringstream out;
+  runner::JsonStreamSink sink(out);
+  EXPECT_THROW(runner::SweepRunner(1).run_streaming(spec, sink, options),
+               std::runtime_error);
+  remove_journal(path);
+}
+
+// -------------------------------------------------- crash-resume property ----
+
+TEST(Streaming, ResumeFromAnyKillPointReproducesTheReport) {
+  const auto spec = tiny_spec();  // 8 jobs.
+  const std::string reference = stream_json(spec, 2);
+  const std::string full = temp_path("full");
+  remove_journal(full);
+
+  // A completed journal to carve kill points out of.
+  runner::StreamOptions options;
+  options.journal_path = full;
+  ASSERT_EQ(stream_json(spec, 2, options), reference);
+
+  const std::string data_full = runner::journal_data_path(full);
+  const std::uint64_t data_size = File(data_full, File::Mode::kRead).size();
+
+  std::mt19937 rng(20260730);
+  for (int trial = 0; trial < 8; ++trial) {
+    const std::string crash = temp_path("crash" + std::to_string(trial));
+    remove_journal(crash);
+    write_file_durable(crash, read_file(full));
+    write_file_durable(runner::journal_data_path(crash), read_file(data_full));
+    // Kill after k completed jobs, optionally mid-append of record k+1
+    // (torn record) and/or mid-payload (torn data file).
+    const std::uint64_t k = rng() % (spec.job_count() + 1);
+    std::uint64_t journal_size =
+        runner::Journal::kHeaderSize + k * runner::Journal::kRecordSize;
+    if (k < spec.job_count() && rng() % 2 == 0) {
+      journal_size += 1 + rng() % (runner::Journal::kRecordSize - 1);
+    }
+    truncate_file(crash, journal_size);
+    if (rng() % 2 == 0) {
+      const std::uint64_t chop = rng() % (data_size / 2 + 1);
+      truncate_file(runner::journal_data_path(crash), data_size - chop);
+    }
+
+    runner::StreamOptions resume;
+    resume.journal_path = crash;
+    resume.resume = true;
+    runner::StreamStats stats;
+    EXPECT_EQ(stream_json(spec, 3, resume, &stats), reference)
+        << "kill point " << k << ", trial " << trial;
+    EXPECT_EQ(stats.jobs_resumed + stats.jobs_executed, spec.job_count());
+    remove_journal(crash);
+  }
+  remove_journal(full);
+}
+
+// ------------------------------------------------------- loud I/O failure ----
+
+TEST(Streaming, ReportWriteFailureThrowsInsteadOfTruncating) {
+  std::ofstream dev_full("/dev/full", std::ios::binary);
+  if (!dev_full.is_open()) GTEST_SKIP() << "/dev/full not available";
+  runner::JsonStreamSink sink(dev_full, "/dev/full");
+  const auto spec = tiny_spec();
+  EXPECT_THROW(runner::SweepRunner(2).run_streaming(spec, sink),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace allarm
