@@ -1,0 +1,27 @@
+// Shared CLI helpers for the chrono-only throughput benches
+// (bench_kernel_throughput, bench_generator_throughput).  Deliberately free
+// of the google-benchmark dependency bench_util.hh carries: these binaries
+// must always build so CI's perf-smoke steps can run them.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace allarm::bench {
+
+/// True when `name` appears in the comma-separated `only` list (an empty
+/// list selects everything).
+inline bool selected(const std::string& only, const std::string& name) {
+  if (only.empty()) return true;
+  std::size_t pos = 0;
+  while (pos <= only.size()) {
+    const std::size_t comma = only.find(',', pos);
+    const std::size_t end = comma == std::string::npos ? only.size() : comma;
+    if (only.compare(pos, end - pos, name) == 0) return true;
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return false;
+}
+
+}  // namespace allarm::bench

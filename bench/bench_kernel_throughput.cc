@@ -9,7 +9,10 @@
 //   multithreaded - the 16-thread `ocean` profile (dense event interleaving
 //                   across all nodes, the sweep runner's common case);
 //   migration     - the same profile with periodic thread migration (adds
-//                   the System migration tick and cross-node traffic).
+//                   the System migration tick and cross-node traffic);
+//   zipf          - the 16-thread `dedup` profile, whose shared traffic is
+//                   Zipf-page sampling (the generator-bound case the
+//                   guide-table inverse-CDF accelerates).
 //
 // Unlike the figure benches this binary does not need google-benchmark:
 // simulations are deterministic, so each measurement is a min-of-N wall
@@ -29,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_cli.hh"
 #include "common/stats.hh"
 #include "core/experiment.hh"
 #include "core/system.hh"
@@ -65,6 +69,8 @@ double baseline_events_per_sec(const std::string& workload,
   if (workload == "serial") return 6.58e6;
   if (workload == "multithreaded") return 3.62e6;
   if (workload == "migration") return 4.69e6;
+  // "zipf" has no pre-rewrite reference: the workload was added together
+  // with the generator front-end work.
   return 0.0;
 }
 
@@ -72,7 +78,9 @@ struct Options {
   std::uint64_t accesses = 20000;
   int reps = 3;
   std::string out = "BENCH_kernel.json";
-  std::string only;  ///< When non-empty, run just this workload.
+  /// When non-empty, run just these workloads (comma-separated names;
+  /// bench_cli.hh's selected()).
+  std::string only;
 };
 
 WorkloadResult measure(const std::string& name, const SystemConfig& config,
@@ -151,7 +159,7 @@ int run(const Options& opt) {
 
   std::vector<WorkloadResult> results;
   const auto wanted = [&opt](const char* name) {
-    return opt.only.empty() || opt.only == name;
+    return selected(opt.only, name);
   };
 
   if (wanted("serial")) {
@@ -180,6 +188,15 @@ int run(const Options& opt) {
     ro.seed = 42;
     ro.migration_interval = ticks_from_ns(20000.0);  // Every 20 us.
     results.push_back(measure("migration", config, spec, ro, opt));
+  }
+  if (wanted("zipf")) {
+    // Zipf: dedup's shared structure is Zipf-page popularity — the profile
+    // whose per-access sampling cost the guide table attacks.
+    const workload::WorkloadSpec spec =
+        workload::make_benchmark("dedup", config, opt.accesses);
+    core::RunOptions ro;
+    ro.seed = 42;
+    results.push_back(measure("zipf", config, spec, ro, opt));
   }
   if (results.empty()) {
     std::cerr << "unknown workload: " << opt.only << "\n";
@@ -232,7 +249,8 @@ int main(int argc, char** argv) {
       opt.only = value();
     } else {
       std::cerr << "usage: bench_kernel_throughput [--accesses N] [--reps N] "
-                   "[--only serial|multithreaded|migration] [--out FILE]\n";
+                   "[--only serial,multithreaded,migration,zipf] "
+                   "[--out FILE]\n";
       return arg == "--help" ? 0 : 2;
     }
   }

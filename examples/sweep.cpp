@@ -29,6 +29,10 @@
 //                        byte-identical output to a single-machine run
 //   --window N           cap on in-flight + unfolded results (default:
 //                        4x workers); bounds peak memory at O(jobs)
+//   --timing             include per-cell "wall_ns" (host wall-clock per
+//                        replicate) in the JSON report.  Off by default:
+//                        wall clock varies run to run, and the canonical
+//                        report must stay byte-identical for one spec
 //   --list               list available grids and exit
 //
 // Reports are streamed cell by cell — a finished cell is serialized and
@@ -71,6 +75,7 @@ struct Options {
   runner::ShardSpec shard;
   std::vector<std::string> merge;
   std::size_t window = 0;
+  bool timing = false;
 };
 
 [[noreturn]] void usage(int code) {
@@ -78,7 +83,7 @@ struct Options {
       "usage: sweep --grid fig3|fig3h|policy|quick [--jobs N] [--seeds K]\n"
       "             [--accesses N] [--seed N] [--out FILE] [--csv FILE]\n"
       "             [--journal FILE [--resume]] [--shard K/N]\n"
-      "             [--merge FILE]... [--window N] [--list]\n";
+      "             [--merge FILE]... [--window N] [--timing] [--list]\n";
   std::exit(code);
 }
 
@@ -180,6 +185,8 @@ Options parse(int argc, char** argv) {
       options.merge.push_back(value(i));
     } else if (std::strcmp(arg, "--window") == 0) {
       options.window = std::strtoull(value(i), nullptr, 10);
+    } else if (std::strcmp(arg, "--timing") == 0) {
+      options.timing = true;
     } else if (std::strcmp(arg, "--list") == 0) {
       list_grids();
       std::exit(0);
@@ -244,6 +251,7 @@ struct ReportSinks {
       out_file = open_tmp(options.out);
       json = std::make_unique<runner::JsonStreamSink>(out_file, options.out);
     }
+    json->set_include_timing(options.timing);
     all.push_back(json.get());
     if (!options.csv.empty()) {
       csv_file = open_tmp(options.csv);

@@ -1,18 +1,26 @@
 #!/usr/bin/env python3
-"""Validate BENCH_kernel.json and gate kernel-throughput regressions.
+"""Validate bench JSON reports and gate throughput regressions.
 
 Replaces the ad-hoc inline Python that used to live in the CI workflow.
-Two checks:
+Handles both schema_version-1 report kinds:
 
-1. Schema: the report must be a schema_version-1 kernel_throughput
-   document with the expected workload list, positive event counts and
-   rates, and zero event heap fallbacks (the allocation-free kernel
-   guarantee).
+- kernel_throughput (bench_kernel_throughput): full-System events/sec for
+  the serial / multithreaded / migration / zipf profiles.
+- generator_throughput (bench_generator_throughput): raw workload-generator
+  accesses/sec, one next/ and one batch/ entry per generator kind (the
+  front-end the serial profile is bound by).
+
+Two checks per report:
+
+1. Schema: the report must declare the expected bench kind and workload
+   list, positive event counts and rates, and zero event heap fallbacks
+   (the allocation-free kernel guarantee; generator reports carry a
+   constant 0).
 
 2. Regression gate versus a committed baseline
-   (bench/baseline/BENCH_kernel.json by default).  Two complementary
-   checks, because a relative gate cannot distinguish "slower machine"
-   from "everything got slower":
+   (bench/baseline/BENCH_kernel.json or BENCH_generator.json by default).
+   Two complementary checks, because a relative gate cannot distinguish
+   "slower machine" from "everything got slower":
 
    - Relative: each workload's current/baseline rate ratio is normalized
      by the MEDIAN ratio across workloads.  This cancels uniform
@@ -31,10 +39,12 @@ Two checks:
    --absolute on the machine that recorded the baseline to check raw
    events_per_sec with no normalization.
 
-Refresh the baseline by re-running the same command CI uses:
+Refresh the baselines by re-running the same commands CI uses:
 
     ./build/bench_kernel_throughput --accesses 2000 --reps 5 \
         --out bench/baseline/BENCH_kernel.json
+    ./build/bench_generator_throughput --accesses 2000000 --reps 5 \
+        --out bench/baseline/BENCH_generator.json
 
 Exit status: 0 on pass, 1 on any schema or regression failure.
 """
@@ -44,7 +54,21 @@ import json
 import statistics
 import sys
 
-EXPECTED_WORKLOADS = ["serial", "multithreaded", "migration"]
+KERNEL_WORKLOADS = ["serial", "multithreaded", "migration", "zipf"]
+GENERATOR_KINDS = ["sweep", "uniform", "zipf", "chunk", "creep", "profile"]
+GENERATOR_WORKLOADS = [
+    f"{kind}/{mode}" for kind in GENERATOR_KINDS for mode in ("next", "batch")
+]
+EXPECTED = {
+    "kernel_throughput": {
+        "workloads": KERNEL_WORKLOADS,
+        "default_baseline": "bench/baseline/BENCH_kernel.json",
+    },
+    "generator_throughput": {
+        "workloads": GENERATOR_WORKLOADS,
+        "default_baseline": "bench/baseline/BENCH_generator.json",
+    },
+}
 
 
 def fail(message: str) -> None:
@@ -60,17 +84,17 @@ def load_report(path: str) -> dict:
         fail(f"cannot load {path}: {e}")
 
 
-def check_schema(report: dict, path: str) -> None:
-    if report.get("bench") != "kernel_throughput":
-        fail(f"{path}: bench != kernel_throughput")
+def check_schema(report: dict, path: str, expected_workloads: list) -> None:
+    if report.get("bench") not in EXPECTED:
+        fail(f"{path}: unknown bench kind {report.get('bench')!r}")
     if report.get("schema_version") != 1:
         fail(f"{path}: unsupported schema_version {report.get('schema_version')}")
     workloads = report.get("workloads")
     if not isinstance(workloads, list):
         fail(f"{path}: missing workloads array")
     names = [w.get("name") for w in workloads]
-    if names != EXPECTED_WORKLOADS:
-        fail(f"{path}: workloads {names}, expected {EXPECTED_WORKLOADS}")
+    if names != expected_workloads:
+        fail(f"{path}: workloads {names}, expected {expected_workloads}")
     for w in workloads:
         for field in ("events", "wall_seconds", "events_per_sec", "ns_per_event"):
             value = w.get(field)
@@ -94,11 +118,15 @@ def rates(report: dict) -> dict:
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("report", help="BENCH_kernel.json produced by this run")
+    parser.add_argument(
+        "report",
+        help="BENCH_kernel.json / BENCH_generator.json produced by this run",
+    )
     parser.add_argument(
         "--baseline",
-        default="bench/baseline/BENCH_kernel.json",
-        help="committed reference report (default: %(default)s)",
+        default=None,
+        help="committed reference report (default: the bench kind's file "
+        "under bench/baseline/)",
     )
     parser.add_argument(
         "--max-regression",
@@ -129,14 +157,24 @@ def main() -> None:
     args = parser.parse_args()
 
     report = load_report(args.report)
-    check_schema(report, args.report)
+    kind = report.get("bench")
+    if kind not in EXPECTED:
+        fail(f"{args.report}: unknown bench kind {kind!r}")
+    expected_workloads = EXPECTED[kind]["workloads"]
+    check_schema(report, args.report, expected_workloads)
 
     if args.no_baseline:
-        print("check_bench: schema OK (baseline comparison skipped)")
+        print(f"check_bench: {kind} schema OK (baseline comparison skipped)")
         return
 
-    baseline = load_report(args.baseline)
-    check_schema(baseline, args.baseline)
+    baseline_path = args.baseline or EXPECTED[kind]["default_baseline"]
+    baseline = load_report(baseline_path)
+    if baseline.get("bench") != kind:
+        fail(
+            f"{baseline_path}: bench kind {baseline.get('bench')!r} does not "
+            f"match report kind {kind!r}"
+        )
+    check_schema(baseline, baseline_path, expected_workloads)
 
     if report["accesses_per_thread"] != baseline["accesses_per_thread"]:
         fail(
@@ -147,7 +185,7 @@ def main() -> None:
         )
 
     current, reference = rates(report), rates(baseline)
-    ratios = {name: current[name] / reference[name] for name in EXPECTED_WORKLOADS}
+    ratios = {name: current[name] / reference[name] for name in expected_workloads}
     if not args.absolute:
         # Median normalization cancels uniform machine-speed differences
         # without letting one improved workload drag its untouched peers'
@@ -167,7 +205,7 @@ def main() -> None:
         mode = "absolute events/sec"
 
     failures = []
-    for name in EXPECTED_WORKLOADS:
+    for name in expected_workloads:
         ratio = ratios[name]
         status = "OK"
         if ratio < 1.0 - args.max_regression:
@@ -181,7 +219,7 @@ def main() -> None:
     if failures:
         fail(
             f"{', '.join(failures)} regressed more than "
-            f"{args.max_regression:.0%} vs {args.baseline}"
+            f"{args.max_regression:.0%} vs {baseline_path}"
         )
     print(
         "check_bench: OK — geomean "

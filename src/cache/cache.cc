@@ -21,7 +21,11 @@ Cache::Cache(const CacheConfig& config, ReplacementKind replacement,
       ways_(config.ways),
       name_(std::move(name)),
       slots_(static_cast<std::size_t>(config.sets()) * config.ways),
-      policy_(make_policy(replacement, config.sets(), config.ways, seed)) {}
+      policy_(make_policy(replacement, config.sets(), config.ways, seed)) {
+  if (replacement == ReplacementKind::kLru) {
+    lru_ = static_cast<LruPolicy*>(policy_.get());
+  }
+}
 
 Cache::Slot* Cache::find_slot(LineAddr line) {
   Slot* base = &slots_[static_cast<std::size_t>(set_of(line)) * ways_];
@@ -49,7 +53,7 @@ LineState* Cache::touch_ref(LineAddr line) {
   if (!s) return nullptr;
   const auto way = static_cast<std::uint32_t>(
       s - &slots_[static_cast<std::size_t>(set_of(line)) * ways_]);
-  policy_->touch(set_of(line), way);
+  policy_touch(set_of(line), way);
   return &s->state;
 }
 
@@ -81,17 +85,22 @@ Victim Cache::insert(LineAddr line, LineState state) {
   }
   if (free_way != ways_) {
     base[free_way] = Slot{line, state};
-    policy_->touch(set, free_way);
+    policy_touch(set, free_way);
     ++occupancy_;
+    if (presence_ != nullptr) presence_->add(line);
     return Victim{};
   }
 
   // Evict a victim (all ways eligible: caches never pin lines; the probe
   // filter, which does pin busy lines, selects victims itself).
-  const std::uint32_t w = policy_->victim_any(set);
+  const std::uint32_t w = policy_victim_any(set);
   const Victim victim{base[w].line, base[w].state};
   base[w] = Slot{line, state};
-  policy_->touch(set, w);
+  policy_touch(set, w);
+  if (presence_ != nullptr) {
+    presence_->add(line);
+    presence_->remove(victim.line);
+  }
   return victim;
 }
 
@@ -101,6 +110,7 @@ LineState Cache::erase(LineAddr line) {
   const LineState had = s->state;
   s->state = LineState::kInvalid;
   --occupancy_;
+  if (presence_ != nullptr) presence_->remove(line);
   return had;
 }
 
@@ -111,7 +121,10 @@ void Cache::for_each(FunctionRef<void(LineAddr, LineState)> fn) const {
 }
 
 void Cache::clear() {
-  for (Slot& s : slots_) s.state = LineState::kInvalid;
+  for (Slot& s : slots_) {
+    if (presence_ != nullptr && is_valid(s.state)) presence_->remove(s.line);
+    s.state = LineState::kInvalid;
+  }
   occupancy_ = 0;
 }
 

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/presence.hh"
 #include "cache/replacement.hh"
 #include "common/config.hh"
 #include "common/function_ref.hh"
@@ -77,6 +78,19 @@ class Cache {
   /// Changes the state of a present line. Returns false when absent.
   bool set_state(LineAddr line, LineState state);
 
+  /// Mutable pointer to the line's state (nullptr when absent).  No
+  /// replacement bookkeeping — the single-scan backend of state rewrites
+  /// like Hierarchy::downgrade.  Callers must not write kInvalid through
+  /// the pointer (that is erase()'s job).
+  LineState* state_ref(LineAddr line) {
+    Slot* s = find_slot(line);
+    return s ? &s->state : nullptr;
+  }
+
+  /// Registers the hierarchy-level presence filter this array reports its
+  /// inserts and erases to (nullptr detaches).
+  void set_presence_filter(PresenceFilter* filter) { presence_ = filter; }
+
   /// Inserts `line` (which must not already be present) in `state`.
   /// Returns the victim that was displaced; victim.valid() is false when a
   /// free way was used.
@@ -106,11 +120,24 @@ class Cache {
   Slot* find_slot(LineAddr line);
   const Slot* find_slot(LineAddr line) const;
 
+  /// Replacement-policy calls run on every access; when the policy is the
+  /// default LRU these route through the exact (final) type so the
+  /// compiler inlines the stamp update instead of an indirect call.
+  void policy_touch(std::uint32_t set, std::uint32_t way) {
+    if (lru_ != nullptr) lru_->touch(set, way);
+    else policy_->touch(set, way);
+  }
+  std::uint32_t policy_victim_any(std::uint32_t set) {
+    return lru_ != nullptr ? lru_->victim_any(set) : policy_->victim_any(set);
+  }
+
   std::uint32_t sets_;
   std::uint32_t ways_;
   std::string name_;
   std::vector<Slot> slots_;  // sets x ways
   std::unique_ptr<ReplacementPolicy> policy_;
+  LruPolicy* lru_ = nullptr;  ///< Non-null iff policy_ is the LRU policy.
+  PresenceFilter* presence_ = nullptr;  ///< Shared, owned by the hierarchy.
   std::uint32_t occupancy_ = 0;
 };
 

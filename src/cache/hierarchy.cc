@@ -18,7 +18,11 @@ Hierarchy::Hierarchy(const SystemConfig& config, std::uint64_t seed,
                      const std::string& name)
     : l1d_(config.l1d, config.cache_replacement, seed * 3 + 1, name + ".l1d"),
       l1i_(config.l1i, config.cache_replacement, seed * 3 + 2, name + ".l1i"),
-      l2_(config.l2, config.cache_replacement, seed * 3 + 3, name + ".l2") {}
+      l2_(config.l2, config.cache_replacement, seed * 3 + 3, name + ".l2") {
+  l1d_.set_presence_filter(&presence_);
+  l1i_.set_presence_filter(&presence_);
+  l2_.set_presence_filter(&presence_);
+}
 
 Cache& Hierarchy::array_of(Array a) {
   switch (a) {
@@ -31,6 +35,7 @@ Cache& Hierarchy::array_of(Array a) {
 }
 
 Location Hierarchy::locate(LineAddr line) const {
+  if (!presence_.maybe_present(line)) return {};
   if (LineState s = l1d_.state_of(line); is_valid(s)) return {Array::kL1D, s};
   if (LineState s = l1i_.state_of(line); is_valid(s)) return {Array::kL1I, s};
   if (LineState s = l2_.state_of(line); is_valid(s)) return {Array::kL2, s};
@@ -38,10 +43,12 @@ Location Hierarchy::locate(LineAddr line) const {
 }
 
 void Hierarchy::touch(LineAddr line) {
+  if (!presence_.maybe_present(line)) return;
   if (!l1d_.touch(line) && !l1i_.touch(line)) l2_.touch(line);
 }
 
 LineState* Hierarchy::touch_ref(LineAddr line) {
+  if (!presence_.maybe_present(line)) return nullptr;
   if (LineState* s = l1d_.touch_ref(line)) return s;
   if (LineState* s = l1i_.touch_ref(line)) return s;
   return l2_.touch_ref(line);
@@ -82,25 +89,43 @@ const std::vector<Victim>& Hierarchy::promote(Array target, LineAddr line) {
 }
 
 LineState Hierarchy::invalidate(LineAddr line) {
+  if (!presence_.maybe_present(line)) return LineState::kInvalid;
+  // L2 first: invalidations come from probes, and probed lines mostly sit
+  // in the (8x larger) L2 by the time a remote conflict or eviction finds
+  // them.  Strict exclusivity means scan order cannot change the result.
+  if (LineState s = l2_.erase(line); is_valid(s)) return s;
   if (LineState s = l1d_.erase(line); is_valid(s)) return s;
-  if (LineState s = l1i_.erase(line); is_valid(s)) return s;
-  return l2_.erase(line);
+  return l1i_.erase(line);
+}
+
+/// Mutable state slot of `line`, or nullptr — one presence check and at
+/// most three tag scans, shared by downgrade/set_state so a hit is a
+/// single pass instead of locate()-then-rescan.
+LineState* Hierarchy::state_ref(LineAddr line) {
+  if (!presence_.maybe_present(line)) return nullptr;
+  if (LineState* s = l1d_.state_ref(line)) return s;
+  if (LineState* s = l1i_.state_ref(line)) return s;
+  return l2_.state_ref(line);
 }
 
 LineState Hierarchy::downgrade(LineAddr line) {
-  const Location loc = locate(line);
-  if (!loc.present()) return LineState::kInvalid;
-  LineState next = loc.state;
-  if (loc.state == LineState::kModified) next = LineState::kOwned;
-  else if (loc.state == LineState::kExclusive) next = LineState::kShared;
-  if (next != loc.state) array_of(loc.array).set_state(line, next);
-  return loc.state;
+  LineState* s = state_ref(line);
+  if (s == nullptr) return LineState::kInvalid;
+  const LineState had = *s;
+  if (had == LineState::kModified) *s = LineState::kOwned;
+  else if (had == LineState::kExclusive) *s = LineState::kShared;
+  return had;
 }
 
 bool Hierarchy::set_state(LineAddr line, LineState state) {
-  const Location loc = locate(line);
-  if (!loc.present()) return false;
-  return array_of(loc.array).set_state(line, state);
+  if (state == LineState::kInvalid) {
+    throw std::invalid_argument(
+        "Hierarchy::set_state: use invalidate() to remove a line");
+  }
+  LineState* s = state_ref(line);
+  if (s == nullptr) return false;
+  *s = state;
+  return true;
 }
 
 void Hierarchy::for_each(FunctionRef<void(LineAddr, LineState)> fn) const {

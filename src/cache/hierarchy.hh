@@ -68,7 +68,12 @@ class Hierarchy {
   LineState downgrade(LineAddr line);
 
   /// Rewrites the state of a present line in place. Returns false if absent.
+  /// `state` must be valid (use invalidate() to remove a line).
   bool set_state(LineAddr line, LineState state);
+
+  /// Mutable pointer to a present line's state (nullptr when absent); no
+  /// replacement bookkeeping.  Do not write kInvalid through it.
+  LineState* state_ref(LineAddr line);
 
   /// Applies `fn(line, state)` over every line in the hierarchy.
   void for_each(FunctionRef<void(LineAddr, LineState)> fn) const;
@@ -91,6 +96,11 @@ class Hierarchy {
   void insert_cascading(Array target, LineAddr line, LineState state,
                         std::vector<Victim>& out);
 
+  /// Presence filter across all three arrays: broadcast probes for lines
+  /// this node never held (the common case under Hammer semantics) skip
+  /// the tag scans entirely.  Declared before the arrays, which register
+  /// themselves against it at construction.
+  PresenceFilter presence_;
   Cache l1d_;
   Cache l1i_;
   Cache l2_;

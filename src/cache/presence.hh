@@ -1,0 +1,58 @@
+// Counting presence filter over the line addresses a node's hierarchy
+// holds.
+//
+// Hammer-style coherence broadcasts probes to every node, so the common
+// probe outcome is "not here" — discovered, without a filter, by scanning
+// three set-associative arrays (and their replacement metadata) for
+// nothing.  The filter maintains one counter per hashed line bucket,
+// incremented on insert and decremented on erase: a zero bucket proves the
+// line is absent and the scans are skipped entirely.  A non-zero bucket
+// (a hit or a hash collision) falls through to the exact scan, so results
+// are identical with or without the filter — it is purely an accelerator.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace allarm::cache {
+
+class PresenceFilter {
+ public:
+  /// 64 Ki one-byte counters (64 kB per node).  A hierarchy holds ~5 K
+  /// lines, so the false-positive (collision) rate is ~7% and per-bucket
+  /// counts stay far below the 8-bit range (asserted in debug builds).
+  static constexpr std::uint32_t kBucketBits = 16;
+
+  void add(LineAddr line) {
+    std::uint8_t& count = counts_[index(line)];
+    assert(count != 0xFF && "PresenceFilter: bucket counter overflow");
+    ++count;
+  }
+
+  void remove(LineAddr line) {
+    std::uint8_t& count = counts_[index(line)];
+    assert(count != 0 && "PresenceFilter: bucket counter underflow");
+    --count;
+  }
+
+  /// False means `line` is definitely not held; true means "scan to know".
+  bool maybe_present(LineAddr line) const { return counts_[index(line)] != 0; }
+
+  void clear() { counts_.assign(counts_.size(), 0); }
+
+ private:
+  static std::uint32_t index(LineAddr line) {
+    // Fibonacci hash: one multiply, top bits.  Physical frames are already
+    // scrambled, but the multiply keeps any stride pattern from aliasing.
+    return static_cast<std::uint32_t>((line * 0x9E3779B97F4A7C15ull) >>
+                                      (64 - kBucketBits));
+  }
+
+  std::vector<std::uint8_t> counts_ =
+      std::vector<std::uint8_t>(std::size_t{1} << kBucketBits, 0);
+};
+
+}  // namespace allarm::cache

@@ -5,13 +5,7 @@
 namespace allarm::cache {
 
 // ---------------------------------------------------------------- LRU ----
-
-LruPolicy::LruPolicy(std::uint32_t sets, std::uint32_t ways)
-    : ways_(ways), stamp_(static_cast<std::size_t>(sets) * ways, 0) {}
-
-void LruPolicy::touch(std::uint32_t set, std::uint32_t way) {
-  stamp_[static_cast<std::size_t>(set) * ways_ + way] = ++clock_;
-}
+// touch() and victim_any() live in the header (devirtualized hot path).
 
 std::uint32_t LruPolicy::victim(std::uint32_t set,
                                 const std::vector<bool>& eligible) {
@@ -26,21 +20,6 @@ std::uint32_t LruPolicy::victim(std::uint32_t set,
     }
   }
   if (best == ways_) throw std::logic_error("LruPolicy: no eligible way");
-  return best;
-}
-
-std::uint32_t LruPolicy::victim_any(std::uint32_t set) {
-  // Identical selection to victim() with every way eligible: the first way
-  // holding the minimum stamp.
-  const std::uint64_t* stamps = &stamp_[static_cast<std::size_t>(set) * ways_];
-  std::uint32_t best = 0;
-  std::uint64_t best_stamp = stamps[0];
-  for (std::uint32_t w = 1; w < ways_; ++w) {
-    if (stamps[w] < best_stamp) {
-      best = w;
-      best_stamp = stamps[w];
-    }
-  }
   return best;
 }
 

@@ -34,13 +34,38 @@ class ReplacementPolicy {
 };
 
 /// True LRU via per-way access stamps.
+///
+/// touch() and victim_any() are defined inline: they run on every cache
+/// access, and arrays that detect an LruPolicy at construction call them
+/// through the exact type (Cache's devirtualized fast path) so the
+/// per-touch cost is one store and an increment, no indirect call.
 class LruPolicy final : public ReplacementPolicy {
  public:
-  LruPolicy(std::uint32_t sets, std::uint32_t ways);
-  void touch(std::uint32_t set, std::uint32_t way) override;
+  LruPolicy(std::uint32_t sets, std::uint32_t ways)
+      : ways_(ways), stamp_(static_cast<std::size_t>(sets) * ways, 0) {}
+
+  void touch(std::uint32_t set, std::uint32_t way) override {
+    stamp_[static_cast<std::size_t>(set) * ways_ + way] = ++clock_;
+  }
+
   std::uint32_t victim(std::uint32_t set,
                        const std::vector<bool>& eligible) override;
-  std::uint32_t victim_any(std::uint32_t set) override;
+
+  std::uint32_t victim_any(std::uint32_t set) override {
+    // Identical selection to victim() with every way eligible: the first
+    // way holding the minimum stamp.
+    const std::uint64_t* stamps =
+        &stamp_[static_cast<std::size_t>(set) * ways_];
+    std::uint32_t best = 0;
+    std::uint64_t best_stamp = stamps[0];
+    for (std::uint32_t w = 1; w < ways_; ++w) {
+      if (stamps[w] < best_stamp) {
+        best = w;
+        best_stamp = stamps[w];
+      }
+    }
+    return best;
+  }
 
  private:
   std::uint32_t ways_;

@@ -62,7 +62,37 @@ struct CacheControllerStats {
 /// The cache-side controller for one node.
 class CacheController {
  public:
-  using DoneFn = std::function<void(Tick)>;
+  /// Completion callback for core_access.  A trivially-copyable
+  /// {function, context} pair instead of std::function: one is built,
+  /// copied into the pending slot and invoked on every access, and the
+  /// only producer (core::System) owns context that outlives the request.
+  class DoneFn {
+   public:
+    using Fn = void (*)(void* ctx, Tick t);
+
+    DoneFn() = default;
+    DoneFn(std::nullptr_t) {}  // NOLINT: mirrors std::function.
+    DoneFn(Fn fn, void* ctx) : fn_(fn), ctx_(ctx) {}
+
+    /// Wraps a callable owned by the caller; it must stay alive until the
+    /// access completes (callbacks can fire arbitrarily later).
+    template <typename F>
+    static DoneFn of(F& callable) {
+      return DoneFn(
+          [](void* ctx, Tick t) { (*static_cast<F*>(ctx))(t); }, &callable);
+    }
+
+    DoneFn& operator=(std::nullptr_t) {
+      fn_ = nullptr;
+      return *this;
+    }
+    explicit operator bool() const { return fn_ != nullptr; }
+    void operator()(Tick t) const { fn_(ctx_, t); }
+
+   private:
+    Fn fn_ = nullptr;
+    void* ctx_ = nullptr;
+  };
 
   CacheController(NodeId node, Fabric& fabric, std::uint64_t seed);
 

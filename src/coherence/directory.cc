@@ -89,7 +89,7 @@ void DirectoryController::start_request(const Request& r, Tick now) {
   ALLARM_LOG_TRACE("dir", node_, " ", r.write ? "GetM" : "GetS", " line=",
                    r.line, " from=", r.from, entry ? " pf-hit" : " pf-miss");
   if (entry) {
-    pf_.touch(r.line);
+    pf_.touch_entry(entry);
     if (r.write) hit_getm(r, *entry, t); else hit_gets(r, *entry, t);
   } else {
     miss(r, t);
@@ -477,13 +477,13 @@ void DirectoryController::process_put(const Put& p, Tick now) {
     // Sole owner gave the line up: memory gets the data, the entry is freed
     // (the paper's optimized baseline behaviour).
     if (p.dirty) fabric_.drams[node_]->write(t);
-    pf_.erase(p.line);
+    pf_.erase_entry(entry);
     ++stats_.puts_owner;
   } else if (entry && entry->owner == p.from &&
              entry->state == PfState::kOwned) {
     // Dirty-shared owner wrote back; unknown sharers may remain.
     if (p.dirty) fabric_.drams[node_]->write(t);
-    pf_.update(p.line, PfState::kShared, kInvalidNode);
+    pf_.update_entry(entry, PfState::kShared, kInvalidNode);
     ++stats_.puts_owner;
   } else if (entry) {
     // Raced with an ownership change; the data (if any) is already stale

@@ -30,10 +30,15 @@ struct Fabric {
   std::vector<CacheController*> caches;       ///< Indexed by NodeId.
   std::vector<DirectoryController*> directories;
   std::vector<mem::Dram*> drams;
-  /// Physical address -> home node (the node whose DRAM holds it).
-  std::function<NodeId(Addr)> home_of;
+  /// OS owning the physical memory map; home_of() runs per coherence
+  /// request, so it is a direct inline call (a shift on the Table I
+  /// geometry), not a std::function indirection.
+  const numa::Os* os = nullptr;
   /// ALLARM enable ranges (Section II-C). Null means "always active".
   const numa::RangeRegisters* allarm_ranges = nullptr;
+
+  /// Physical address -> home node (the node whose DRAM holds it).
+  NodeId home_of(Addr paddr) const { return os->home_of(paddr); }
 
   /// Convenience: schedules `fn` at absolute time `when`.  Forwards the
   /// callable straight into the event kernel's inline storage -- no

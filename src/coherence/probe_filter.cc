@@ -48,9 +48,14 @@ const PfEntry* ProbeFilter::peek(LineAddr line) const {
 void ProbeFilter::touch(LineAddr line) {
   PfEntry* e = find(line);
   if (!e) return;
+  touch_entry(e);
+}
+
+void ProbeFilter::touch_entry(PfEntry* entry) {
+  const std::uint32_t set = set_of(entry->line);
   const auto way = static_cast<std::uint32_t>(
-      e - &entries_[static_cast<std::size_t>(set_of(line)) * ways_]);
-  policy_->touch(set_of(line), way);
+      entry - &entries_[static_cast<std::size_t>(set) * ways_]);
+  policy_->touch(set, way);
 }
 
 bool ProbeFilter::has_free_way(LineAddr line) const {
@@ -70,18 +75,22 @@ std::optional<PfEntry> ProbeFilter::displace_victim(
   // invalidation needs no dirty writeback and never pulls a line out from
   // under its (sole) owner.  Fall back to plain LRU when the set holds no
   // Shared entry.
+  // One pinned() probe per way: the busy check behind it walks a hash map,
+  // so remember the verdicts instead of re-asking in a second pass.
   bool any_shared = false;
   bool any = false;
   for (std::uint32_t w = 0; w < ways_; ++w) {
     const bool ok = base[w].valid() && !pinned(base[w].line);
+    eligible_scratch_[w] = ok;
     any = any || ok;
     any_shared = any_shared || (ok && base[w].state == PfState::kShared);
   }
   if (!any) return std::nullopt;
-  for (std::uint32_t w = 0; w < ways_; ++w) {
-    const bool ok = base[w].valid() && !pinned(base[w].line);
-    eligible_scratch_[w] =
-        ok && (!any_shared || base[w].state == PfState::kShared);
+  if (any_shared) {
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+      eligible_scratch_[w] =
+          eligible_scratch_[w] && base[w].state == PfState::kShared;
+    }
   }
   const std::uint32_t w = policy_->victim(set, eligible_scratch_);
   const PfEntry victim = base[w];
@@ -119,17 +128,25 @@ void ProbeFilter::insert(LineAddr line, PfState state, NodeId owner) {
 bool ProbeFilter::erase(LineAddr line) {
   PfEntry* e = find(line);
   if (!e) return false;
-  *e = PfEntry{};
+  erase_entry(e);
+  return true;
+}
+
+void ProbeFilter::erase_entry(PfEntry* entry) {
+  *entry = PfEntry{};
   --occupancy_;
   ++stats_.writes;
-  return true;
 }
 
 void ProbeFilter::update(LineAddr line, PfState state, NodeId owner) {
   PfEntry* e = find(line);
   if (!e) throw std::logic_error("ProbeFilter::update: line not tracked");
-  e->state = state;
-  e->owner = owner;
+  update_entry(e, state, owner);
+}
+
+void ProbeFilter::update_entry(PfEntry* entry, PfState state, NodeId owner) {
+  entry->state = state;
+  entry->owner = owner;
   ++stats_.writes;
 }
 

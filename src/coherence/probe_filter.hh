@@ -68,6 +68,11 @@ class ProbeFilter {
   /// Replacement bookkeeping after a hit.
   void touch(LineAddr line);
 
+  /// touch() via an entry pointer just returned by lookup() — skips the
+  /// second tag scan.  Synchronous use only: pointers go stale once the
+  /// entry can be displaced (any intervening simulated event).
+  void touch_entry(PfEntry* entry);
+
   /// True when the set of `line` has an invalid way available.
   bool has_free_way(LineAddr line) const;
 
@@ -85,8 +90,15 @@ class ProbeFilter {
   /// Removes the entry for `line`; returns false when absent.
   bool erase(LineAddr line);
 
+  /// erase() via an entry pointer in hand (same synchronous-use rule as
+  /// touch_entry()).
+  void erase_entry(PfEntry* entry);
+
   /// Rewrites state/owner of an existing entry (counts a write).
   void update(LineAddr line, PfState state, NodeId owner);
+
+  /// update() via an entry pointer in hand (same synchronous-use rule).
+  void update_entry(PfEntry* entry, PfState state, NodeId owner);
 
   /// Applies `fn` to every valid entry.
   void for_each(FunctionRef<void(const PfEntry&)> fn) const;

@@ -2,12 +2,16 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace allarm {
 
 ZipfDistribution::ZipfDistribution(std::uint64_t n, double alpha) {
   if (n == 0) throw std::invalid_argument("ZipfDistribution: empty support");
+  if (n > std::numeric_limits<std::uint32_t>::max()) {
+    throw std::invalid_argument("ZipfDistribution: support too large");
+  }
   cdf_.resize(n);
   double total = 0.0;
   for (std::uint64_t r = 0; r < n; ++r) {
@@ -15,10 +19,43 @@ ZipfDistribution::ZipfDistribution(std::uint64_t n, double alpha) {
     cdf_[r] = total;
   }
   for (auto& c : cdf_) c /= total;
+
+  // Guide table: one bucket per rank (clamped to a sane minimum) makes the
+  // total window size n + K, i.e. O(1) expected ranks scanned per draw.
+  guide_buckets_ = std::max<std::uint64_t>(n, 16);
+  guide_scale_ = static_cast<double>(guide_buckets_);
+  guide_.resize(guide_buckets_ + 1);
+  std::uint64_t rank = 0;
+  for (std::uint64_t k = 0; k <= guide_buckets_; ++k) {
+    const double threshold = static_cast<double>(k) / guide_scale_;
+    while (rank < n && cdf_[rank] < threshold) ++rank;
+    guide_[k] = static_cast<std::uint32_t>(rank);
+  }
 }
 
-std::uint64_t ZipfDistribution::operator()(Rng& rng) const {
-  const double u = rng.uniform();
+std::uint64_t ZipfDistribution::rank(double u) const {
+  // Bucket of u.  floor(u * K) can be off by one when u * K rounds across
+  // an integer; the two fixups below re-anchor k against the exact bucket
+  // thresholds (computed with the same k/K division the constructor used),
+  // so [guide_[k], guide_[k+1]] is guaranteed to bracket the answer.
+  std::uint64_t k = static_cast<std::uint64_t>(u * guide_scale_);
+  if (k >= guide_buckets_) k = guide_buckets_ - 1;
+  while (k > 0 && u < static_cast<double>(k) / guide_scale_) --k;
+  while (k + 1 < guide_buckets_ &&
+         u >= static_cast<double>(k + 1) / guide_scale_) {
+    ++k;
+  }
+  const std::uint32_t lo = guide_[k];
+  const std::uint32_t hi = guide_[k + 1];  // Inclusive upper bound on rank.
+  // lower_bound over the narrow window; identical result to the full-CDF
+  // search because rank_reference(u) lies in [lo, hi] by construction.
+  const auto first = cdf_.begin() + lo;
+  const auto last = cdf_.begin() + hi;
+  return static_cast<std::uint64_t>(std::lower_bound(first, last, u) -
+                                    cdf_.begin());
+}
+
+std::uint64_t ZipfDistribution::rank_reference(double u) const {
   const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
   return static_cast<std::uint64_t>(it - cdf_.begin());
 }

@@ -104,17 +104,37 @@ class Rng {
 /// Zipf-distributed integers over [0, n): rank r is drawn with probability
 /// proportional to 1/(r+1)^alpha.  Used to model skewed page popularity
 /// (hash tables, hot shared structures).
+///
+/// Sampling is a guide-table-accelerated inverse-CDF: a K-entry index maps
+/// each uniform-draw interval [k/K, (k+1)/K) to the narrow rank window
+/// [guide_[k], guide_[k+1]] that can contain the answer, so each draw does
+/// O(1) expected work instead of an O(log n) binary search over the whole
+/// CDF.  The guide table is a pure accelerator: rank(u) returns EXACTLY the
+/// index std::lower_bound over the full CDF would (rank_reference), so the
+/// switch is invisible to every access stream and every sweep report byte.
 class ZipfDistribution {
  public:
   ZipfDistribution(std::uint64_t n, double alpha);
 
-  /// Draws one sample in [0, n).
-  std::uint64_t operator()(Rng& rng) const;
+  /// Draws one sample in [0, n); consumes exactly one rng.uniform().
+  std::uint64_t operator()(Rng& rng) const { return rank(rng.uniform()); }
+
+  /// Rank of a uniform draw `u` in [0, 1), via the guide table.
+  std::uint64_t rank(double u) const;
+
+  /// Reference implementation: lower_bound over the full CDF.  rank() must
+  /// agree with this for every u (pinned by tests/workload_test.cc).
+  std::uint64_t rank_reference(double u) const;
 
   std::uint64_t size() const { return cdf_.size(); }
 
  private:
   std::vector<double> cdf_;  // Normalized cumulative weights.
+  /// guide_[k] = first rank whose CDF value is >= k/guide_buckets_, for
+  /// k in [0, guide_buckets_]; guide_[guide_buckets_] == size().
+  std::vector<std::uint32_t> guide_;
+  std::uint64_t guide_buckets_ = 0;
+  double guide_scale_ = 0.0;  ///< == guide_buckets_ as a double.
 };
 
 }  // namespace allarm

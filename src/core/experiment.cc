@@ -1,5 +1,6 @@
 #include "core/experiment.hh"
 
+#include <chrono>
 #include <cstdlib>
 #include <string>
 #include <thread>
@@ -25,8 +26,14 @@ PairResult run_pair(const SystemConfig& config,
 }
 
 RunResult run_request(const RunRequest& request) {
-  return run_single(request.config, request.mode, request.spec, request.seed,
-                    request.policy);
+  const auto t0 = std::chrono::steady_clock::now();
+  RunResult result = run_single(request.config, request.mode, request.spec,
+                                request.seed, request.policy);
+  result.wall_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+  return result;
 }
 
 std::uint64_t bench_accesses(std::uint64_t fallback) {

@@ -1,6 +1,7 @@
 #include "core/system.hh"
 
 #include <algorithm>
+#include <array>
 #include <stdexcept>
 
 #include "common/flat_map.hh"
@@ -19,8 +20,36 @@ struct System::ThreadRuntime {
   std::uint64_t remaining = 0;
   NodeId node = kInvalidNode;  ///< Current placement (mirrors the OS map).
   bool in_warmup = false;
+  /// False when think-jitter draws interleave with generation draws — then
+  /// pre-generating a batch would reorder the rng stream, so the issue
+  /// path falls back to one generator->next() per access.
+  bool use_ring = true;
   Tick crossed_warmup_at = 0;  ///< When this thread entered its ROI.
   Tick finished_at = 0;
+  System* system = nullptr;  ///< Back-pointer for the completion callback.
+
+  // --- Batched issue ring (System::next_access / System::fill_ring) -------
+  /// Pre-sized, allocation-free: accesses are generated in bulk via
+  /// AccessGenerator::next_batch and issued one by one.
+  static constexpr std::uint32_t kRingCapacity = 64;
+  std::array<workload::Access, kRingCapacity> ring;
+  std::uint32_t ring_pos = 0;    ///< Next slot to issue.
+  std::uint32_t ring_count = 0;  ///< Valid slots in the current batch.
+  /// First tick at which unissued slots are stale (exclusive horizon from
+  /// next_batch); kTickNever when the batch can never go stale.
+  Tick ring_valid_until = 0;
+  /// True when the previous batch reported kTickNever — the next fill can
+  /// take a whole ring without risking replay work.
+  bool last_batch_timeless = false;
+  Tick last_issue_at = 0;
+  /// EWMA of inter-issue simulated time, the horizon-to-batch-size
+  /// predictor (starts at ~2 ns; self-corrects within a few accesses).
+  Tick avg_issue_gap = 2 * kTicksPerNs;
+  Rng fill_rng{0};  ///< Rng snapshot at the last horizon-limited fill.
+  /// Generator position snapshot matching fill_rng (reserved at setup so
+  /// steady-state fills never allocate).
+  std::vector<std::uint64_t> fill_state;
+
 };
 
 System::System(const SystemConfig& config, numa::AllocPolicy policy)
@@ -34,7 +63,7 @@ System::System(const SystemConfig& config, numa::AllocPolicy policy)
   fabric_.events = &events_;
   fabric_.mesh = &mesh_;
   fabric_.allarm_ranges = &ranges_;
-  fabric_.home_of = [this](Addr paddr) { return os_.home_of(paddr); };
+  fabric_.os = &os_;
   for (NodeId i = 0; i < n; ++i) {
     drams_.push_back(std::make_unique<mem::Dram>(config_));
     caches_.push_back(
@@ -88,8 +117,7 @@ void System::issue_next(ThreadRuntime& thread) {
     return;
   }
   --thread.remaining;
-  const workload::Access access =
-      thread.generator->next(thread.rng, events_.now());
+  const workload::Access access = next_access(thread);
   const Addr paddr = os_.touch(thread.spec.asid, access.vaddr, node);
 
   ++accesses_done_;
@@ -97,15 +125,86 @@ void System::issue_next(ThreadRuntime& thread) {
     check_invariants(/*strict=*/false);
   }
 
-  caches_[node]->core_access(access.type, paddr, [this, &thread](Tick done) {
-    Tick think = thread.spec.think;
-    if (think != 0 && thread.spec.think_jitter > 0.0) {
-      const double jitter =
-          1.0 + thread.spec.think_jitter * (2.0 * thread.rng.uniform() - 1.0);
-      think = static_cast<Tick>(static_cast<double>(think) * jitter);
+  // The callback is a {trampoline, &thread} pair — nothing is constructed
+  // or type-erased per access, and `thread` outlives any in-flight request.
+  caches_[node]->core_access(
+      access.type, paddr,
+      coherence::CacheController::DoneFn(&System::access_done_thunk, &thread));
+}
+
+void System::access_done_thunk(void* ctx, Tick done) {
+  ThreadRuntime& thread = *static_cast<ThreadRuntime*>(ctx);
+  System* self = thread.system;
+  Tick think = thread.spec.think;
+  if (think != 0 && thread.spec.think_jitter > 0.0) {
+    const double jitter =
+        1.0 + thread.spec.think_jitter * (2.0 * thread.rng.uniform() - 1.0);
+    think = static_cast<Tick>(static_cast<double>(think) * jitter);
+  }
+  self->events_.schedule_at(done + think,
+                            [self, &thread] { self->issue_next(thread); });
+}
+
+workload::Access System::next_access(ThreadRuntime& thread) {
+  const Tick now = events_.now();
+  if (!thread.use_ring) return thread.generator->next(thread.rng, now);
+  const Tick gap = now - thread.last_issue_at;
+  thread.last_issue_at = now;
+  thread.avg_issue_gap = (3 * thread.avg_issue_gap + gap) / 4;
+  if (thread.ring_pos >= thread.ring_count) {
+    fill_ring(thread, now, /*replay=*/0);
+  } else if (now >= thread.ring_valid_until) {
+    // The batch was generated before a time-dependent generator's output
+    // shifted: everything not yet issued is stale.  Rewind and regenerate
+    // from the issued prefix so the stream stays byte-identical.
+    fill_ring(thread, now, /*replay=*/thread.ring_pos);
+  }
+  return thread.ring[thread.ring_pos++];
+}
+
+void System::fill_ring(ThreadRuntime& thread, Tick now, std::uint32_t replay) {
+  workload::AccessGenerator* gen = thread.generator.get();
+  if (replay > 0) {
+    // Replay: restore the fill-time rng and generator position, burn the
+    // draws of the `replay` slots already issued (the draw sequence never
+    // depends on `now`, so this lands exactly on the state a serial issue
+    // path would have here), then fall through to a fresh fill at `now`.
+    thread.rng = thread.fill_rng;
+    const std::uint64_t* state = thread.fill_state.data();
+    gen->restore_state(state);
+    gen->next_batch(thread.rng, now,
+                    workload::Span<workload::Access>(thread.ring.data(),
+                                                     replay));
+  }
+  // Batch size: a whole ring when nothing in it can go stale, else the
+  // predicted number of accesses that fit before the validity horizon
+  // (oversizing is still correct — it just buys replay work).
+  std::uint32_t count = ThreadRuntime::kRingCapacity;
+  const Tick conservative = gen->validity_horizon(now);
+  if (conservative != kTickNever) {
+    if (!thread.last_batch_timeless) {
+      const Tick gap = thread.avg_issue_gap > 0 ? thread.avg_issue_gap : 1;
+      const Tick predicted = (conservative - now) / gap;
+      if (predicted < count) {
+        count = predicted > 0 ? static_cast<std::uint32_t>(predicted) : 1;
+      }
     }
-    events_.schedule_at(done + think, [this, &thread] { issue_next(thread); });
-  });
+    // A finite horizon means this batch may need a replay later: snapshot
+    // the rng and the generator position it starts from.
+    thread.fill_rng = thread.rng;
+    thread.fill_state.clear();
+    gen->save_state(thread.fill_state);
+  }
+  // Never pre-draw past the end of the thread's budget (`remaining` was
+  // already decremented for the access being issued now).
+  const std::uint64_t left = thread.remaining + 1;
+  if (left < count) count = static_cast<std::uint32_t>(left);
+  thread.ring_valid_until = gen->next_batch(
+      thread.rng, now,
+      workload::Span<workload::Access>(thread.ring.data(), count));
+  thread.last_batch_timeless = thread.ring_valid_until == kTickNever;
+  thread.ring_pos = 0;
+  thread.ring_count = count;
 }
 
 void System::schedule_migrations(const RunOptions& options) {
@@ -152,6 +251,13 @@ RunResult System::run(const workload::WorkloadSpec& spec,
     rt->remaining = ts.warmup_accesses + ts.accesses;
     rt->node = ts.node;
     rt->in_warmup = ts.warmup_accesses > 0;
+    // Think-jitter draws interleave with generation draws access by
+    // access; pre-generating a batch would reorder them.
+    rt->use_ring = ts.think == 0 || ts.think_jitter <= 0.0;
+    rt->system = this;
+    // Pre-size the replay snapshot so steady-state fills never allocate.
+    rt->generator->save_state(rt->fill_state);
+    rt->fill_state.clear();
     if (rt->in_warmup) ++threads_in_warmup_;
     os_.place_thread(ts.id, ts.node);
     threads_.push_back(std::move(rt));

@@ -42,6 +42,12 @@ struct RunResult {
   Tick runtime = 0;                 ///< Max thread completion time (ROI).
   std::vector<Tick> thread_finish;  ///< Per-thread completion times.
   StatSet stats;                    ///< Flat metric map (see system.cc).
+  /// Host wall-clock cost of producing this result, in nanoseconds
+  /// (measured by core::run_request; 0 when never measured).  Execution
+  /// metadata, not science: reports exclude it unless explicitly asked
+  /// (JsonStreamSink timing mode), but the sweep journal records it so a
+  /// shard scheduler can size shards by measured cell cost.
+  std::uint64_t wall_ns = 0;
 };
 
 /// The assembled machine.
@@ -85,6 +91,18 @@ class System {
   struct ThreadRuntime;
 
   void issue_next(ThreadRuntime& thread);
+  /// Completion trampoline for CacheController::DoneFn: `ctx` is the
+  /// issuing ThreadRuntime (which carries its System back-pointer).
+  static void access_done_thunk(void* ctx, Tick done);
+  /// Pops one access from the thread's pre-generated ring (refilling /
+  /// regenerating as needed); byte-identical to generator->next() per
+  /// access but amortizes the virtual dispatch over whole batches.
+  workload::Access next_access(ThreadRuntime& thread);
+  /// (Re)fills the ring at simulated time `now`.  `replay` > 0 rewinds the
+  /// rng and generator to the previous fill's snapshot and burns that many
+  /// accesses first — the already-issued prefix of a batch whose
+  /// time-dependent tail went stale.
+  void fill_ring(ThreadRuntime& thread, Tick now, std::uint32_t replay);
   void schedule_migrations(const RunOptions& options);
   /// One periodic migration step; reschedules itself while threads run.
   void migration_tick();

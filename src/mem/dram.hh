@@ -45,10 +45,13 @@ class Dram {
 
  private:
   Tick access(Tick now, bool write) {
+    // Branch-free accounting on the per-access path: both counters and the
+    // queue-wait accumulator update with straight-line arithmetic.
     const Tick start = now > channel_free_ ? now : channel_free_;
     stats_.total_queue_wait += start - now;
     channel_free_ = start + cycle_;
-    if (write) ++stats_.writes; else ++stats_.reads;
+    stats_.writes += write;
+    stats_.reads += !write;
     return start + latency_;
   }
 

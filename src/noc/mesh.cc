@@ -34,6 +34,49 @@ Mesh::Mesh(const SystemConfig& config)
   if (width_ == 0 || height_ == 0) {
     throw std::invalid_argument("Mesh: degenerate dimensions");
   }
+  const auto is_pow2 = [](std::uint32_t v) {
+    return v != 0 && (v & (v - 1)) == 0;
+  };
+  const auto log2_of = [](std::uint32_t v) {
+    std::uint32_t shift = 0;
+    while ((1u << shift) < v) ++shift;
+    return shift;
+  };
+  if (is_pow2(width_)) {
+    width_pow2_ = true;
+    width_shift_ = log2_of(width_);
+    width_mask_ = width_ - 1;
+  }
+  if (is_pow2(flit_bytes_)) {
+    flit_pow2_ = true;
+    flit_shift_ = log2_of(flit_bytes_);
+    flit_mask_ = flit_bytes_ - 1;
+  }
+
+  // Materialize every XY route once; send() then walks a flat link-id
+  // array.  16x16 nodes is ~1.5 k link ids — trivially resident.
+  const std::uint32_t n = num_nodes();
+  route_offset_.reserve(static_cast<std::size_t>(n) * n + 1);
+  route_offset_.push_back(0);
+  for (NodeId src = 0; src < n; ++src) {
+    for (NodeId dst = 0; dst < n; ++dst) {
+      std::uint32_t x = x_of(src);
+      std::uint32_t y = y_of(src);
+      const std::uint32_t tx = x_of(dst);
+      const std::uint32_t ty = y_of(dst);
+      while (x != tx) {  // Dimension-order (XY) routing: X first, then Y.
+        const Direction d = (x < tx) ? kEast : kWest;
+        route_links_.push_back(link_id(node_at(x, y), d));
+        x = (x < tx) ? x + 1 : x - 1;
+      }
+      while (y != ty) {
+        const Direction d = (y < ty) ? kSouth : kNorth;
+        route_links_.push_back(link_id(node_at(x, y), d));
+        y = (y < ty) ? y + 1 : y - 1;
+      }
+      route_offset_.push_back(static_cast<std::uint32_t>(route_links_.size()));
+    }
+  }
 }
 
 std::uint32_t Mesh::hops(NodeId src, NodeId dst) const {
@@ -57,32 +100,22 @@ Tick Mesh::send(NodeId src, NodeId dst, std::uint32_t bytes, Tick now,
   const std::uint32_t flits = flits_for(bytes);
   const Tick serialization = static_cast<Tick>(flits) * flit_time_;
 
-  // Head traversal with per-link queueing, walking the XY route in place
-  // (no materialized link list).  Each hop: wait for the link, occupy it
-  // for the serialization time, then pay wire + router latency.
+  // Head traversal with per-link queueing over the precomputed XY route.
+  // Each hop: wait for the link, occupy it for the serialization time,
+  // then pay wire + router latency.
+  const std::size_t pair = static_cast<std::size_t>(src) * num_nodes() + dst;
+  const std::uint32_t begin = route_offset_[pair];
+  const std::uint32_t end = route_offset_[pair + 1];
+  const Tick per_hop_tail = link_latency_ + router_latency_;
   Tick t = now + router_latency_;  // Injection through the source router.
-  std::uint32_t hop_count = 0;
-  const auto traverse = [&](std::uint32_t link) {
+  for (std::uint32_t i = begin; i < end; ++i) {
+    const std::uint32_t link = route_links_[i];
     const Tick start = std::max(t, link_free_[link]);
     link_free_[link] = start + serialization;
     link_busy_[link] += serialization;
-    t = start + serialization + link_latency_ + router_latency_;
-    ++hop_count;
-  };
-  std::uint32_t x = x_of(src);
-  std::uint32_t y = y_of(src);
-  const std::uint32_t tx = x_of(dst);
-  const std::uint32_t ty = y_of(dst);
-  while (x != tx) {  // Dimension-order (XY) routing: X first, then Y.
-    const Direction d = (x < tx) ? kEast : kWest;
-    traverse(link_id(node_at(x, y), d));
-    x = (x < tx) ? x + 1 : x - 1;
+    t = start + serialization + per_hop_tail;
   }
-  while (y != ty) {
-    const Direction d = (y < ty) ? kSouth : kNorth;
-    traverse(link_id(node_at(x, y), d));
-    y = (y < ty) ? y + 1 : y - 1;
-  }
+  const std::uint32_t hop_count = end - begin;
 
   const auto c = static_cast<std::size_t>(cause);
   ++stats_.messages;

@@ -81,23 +81,40 @@ class Mesh {
   // Directed link ids: node * 4 + direction (0=E,1=W,2=N,3=S).
   enum Direction : std::uint32_t { kEast = 0, kWest, kNorth, kSouth };
 
-  std::uint32_t x_of(NodeId n) const { return n % width_; }
-  std::uint32_t y_of(NodeId n) const { return n / width_; }
+  // Coordinate and flit arithmetic runs once or twice per hop on every
+  // mesh message; for the power-of-two geometries every real
+  // configuration uses (width 4, 4-byte flits) the divides and modulos
+  // strength-reduce to shifts and masks precomputed at construction.
+  std::uint32_t x_of(NodeId n) const {
+    return width_pow2_ ? (n & width_mask_) : (n % width_);
+  }
+  std::uint32_t y_of(NodeId n) const {
+    return width_pow2_ ? (static_cast<std::uint32_t>(n) >> width_shift_)
+                       : (n / width_);
+  }
   NodeId node_at(std::uint32_t x, std::uint32_t y) const {
-    return static_cast<NodeId>(y * width_ + x);
+    return static_cast<NodeId>(
+        (width_pow2_ ? (y << width_shift_) : y * width_) + x);
   }
   std::uint32_t link_id(NodeId from, Direction d) const {
-    return from * 4 + d;
+    return (static_cast<std::uint32_t>(from) << 2) + d;
   }
 
   std::uint32_t flits_for(std::uint32_t bytes) const {
-    return (bytes + flit_bytes_ - 1) / flit_bytes_;
+    return flit_pow2_ ? ((bytes + flit_mask_) >> flit_shift_)
+                      : ((bytes + flit_bytes_ - 1) / flit_bytes_);
   }
 
   std::uint32_t width_;
   std::uint32_t height_;
   std::uint32_t flit_bytes_;
   std::uint32_t control_bytes_;
+  bool width_pow2_ = false;
+  bool flit_pow2_ = false;
+  std::uint32_t width_shift_ = 0;
+  std::uint32_t width_mask_ = 0;
+  std::uint32_t flit_shift_ = 0;
+  std::uint32_t flit_mask_ = 0;
   Tick flit_time_;
   Tick link_latency_;
   Tick router_latency_;
@@ -105,6 +122,15 @@ class Mesh {
 
   std::vector<Tick> link_free_;   ///< Next-free time per directed link.
   std::vector<Tick> link_busy_;   ///< Accumulated busy time per link.
+
+  /// Precomputed XY routes, indexed by src * num_nodes + dst: the directed
+  /// link ids a message crosses, materialized once at construction so the
+  /// per-message loop walks a flat array instead of re-deriving mesh
+  /// coordinates hop by hop.  routes_[p] spans
+  /// route_links_[route_offset_[p] .. route_offset_[p+1]).
+  std::vector<std::uint32_t> route_links_;
+  std::vector<std::uint32_t> route_offset_;
+
   NocStats stats_;
 };
 

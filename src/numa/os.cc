@@ -122,19 +122,14 @@ PageNum Os::allocate_frame(PageNum vpage, NodeId toucher) {
   throw std::runtime_error("Os: out of physical memory");
 }
 
-Addr Os::touch(AddressSpaceId asid, Addr vaddr, NodeId node) {
-  const bool kernel = vaddr >= kKernelSpaceBase;
-  const PageKey key{kernel ? kKernelAsid : asid, page_of(vaddr)};
-  const PageNum* frame = page_table_.find(key);
-  if (frame == nullptr) {
-    // Kernel pages interleave round-robin by page index; user pages follow
-    // the configured policy.
-    const NodeId toucher =
-        kernel ? static_cast<NodeId>(key.vpage % num_nodes_) : node;
-    frame = page_table_.try_emplace(key, allocate_frame(key.vpage, toucher))
-                .first;
-  }
-  return addr_of_page(*frame) | (vaddr & (kPageBytes - 1));
+const PageNum* Os::touch_slow(const PageKey& key, NodeId node) {
+  // Kernel pages interleave round-robin by page index; user pages follow
+  // the configured policy.
+  const NodeId toucher = key.asid == kKernelAsid
+                             ? static_cast<NodeId>(key.vpage % num_nodes_)
+                             : node;
+  return page_table_.try_emplace(key, allocate_frame(key.vpage, toucher))
+      .first;
 }
 
 std::optional<Addr> Os::translate(AddressSpaceId asid, Addr vaddr) const {

@@ -88,7 +88,15 @@ class Os {
   /// policy if unmapped.  Returns the physical address.  Addresses in the
   /// kernel range are mapped in the shared kernel namespace, and are placed
   /// round-robin across nodes irrespective of the allocation policy.
-  Addr touch(AddressSpaceId asid, Addr vaddr, NodeId node);
+  /// Defined inline: this runs once per simulated access, and the hot case
+  /// is a pure page-table hit.
+  Addr touch(AddressSpaceId asid, Addr vaddr, NodeId node) {
+    const bool kernel = vaddr >= kKernelSpaceBase;
+    const PageKey key{kernel ? kKernelAsid : asid, page_of(vaddr)};
+    const PageNum* frame = page_table_.find(key);
+    if (frame == nullptr) frame = touch_slow(key, node);
+    return addr_of_page(*frame) | (vaddr & (kPageBytes - 1));
+  }
 
   /// Translates without allocating; std::nullopt when unmapped.
   std::optional<Addr> translate(AddressSpaceId asid, Addr vaddr) const;
@@ -133,6 +141,12 @@ class Os {
   const std::vector<NodeId>& spill_order(NodeId node) const;
 
   PageNum allocate_frame(PageNum vpage, NodeId toucher);
+
+  struct PageKey;  // Defined below; touch_slow takes it by reference.
+
+  /// Unmapped-page path of touch(): allocates and maps a frame, returning
+  /// the stable page-table slot.
+  const PageNum* touch_slow(const PageKey& key, NodeId node);
 
   struct PageKey {
     AddressSpaceId asid = 0;

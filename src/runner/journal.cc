@@ -178,6 +178,10 @@ std::string serialize_run_result(const core::RunResult& result) {
     std::memcpy(&bits, &value, sizeof(bits));
     put_u64(bits);
   }
+  // Trailing optional section (backward compatible: absent in journals
+  // written before it existed, and the reader treats end-of-payload here
+  // as "not recorded").  Extend only by appending.
+  put_u64(result.wall_ns);
   return out;
 }
 
@@ -222,6 +226,8 @@ core::RunResult deserialize_run_result(const void* data, std::size_t size) {
     std::memcpy(&value, &value_bits, sizeof(value));
     result.stats.set(name, value);
   }
+  // Optional trailing section (pre-wall_ns journals end here).
+  if (pos < size) result.wall_ns = get_u64();
   if (pos != size) {
     throw std::runtime_error("journal payload has trailing bytes");
   }

@@ -81,6 +81,11 @@ void JsonStreamSink::cell(CellResult&& cell) {
   out_ << "      \"runtime\": ";
   append_summary_json(out_, cell.runtime);
   out_ << ",\n";
+  if (include_timing_) {
+    out_ << "      \"wall_ns\": ";
+    append_summary_json(out_, cell.wall_ns);
+    out_ << ",\n";
+  }
   out_ << "      \"stats\": {";
   bool first = true;
   for (const auto& [name, summary] : cell.stats) {

@@ -27,6 +27,14 @@ class JsonStreamSink : public ResultSink {
   /// `label` names the destination in error messages (a path, "stdout").
   explicit JsonStreamSink(std::ostream& out, std::string label = "report");
 
+  /// Opt-in execution-timing section: each cell additionally carries a
+  /// "wall_ns" summary (host wall-clock nanoseconds per replicate, from
+  /// the journal / run_request measurement).  Off by default because
+  /// wall clock varies run to run while the canonical report must be
+  /// byte-identical for one spec; enable it (sweep --timing) when feeding
+  /// a shard-sizing scheduler with measured cell costs.
+  void set_include_timing(bool include) { include_timing_ = include; }
+
   void begin(const SweepMeta& meta) override;
   void cell(CellResult&& cell) override;
   void end() override;
@@ -37,6 +45,7 @@ class JsonStreamSink : public ResultSink {
   std::ostream& out_;
   std::string label_;
   bool any_cell_ = false;
+  bool include_timing_ = false;
 };
 
 /// Streams the canonical long-format CSV to `out`: one row per

@@ -98,6 +98,9 @@ class CellFolder {
     }
     cell_.seeds.push_back(job.request.seed);
     cell_.runtime.add(static_cast<double>(result.runtime));
+    if (result.wall_ns != 0) {
+      cell_.wall_ns.add(static_cast<double>(result.wall_ns));
+    }
     for (const auto& [stat, value] : result.stats.values()) {
       cell_.stats[stat].add(value);
     }

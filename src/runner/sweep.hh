@@ -102,6 +102,10 @@ struct CellResult {
   std::vector<core::RunResult> runs;    ///< Per-replicate raw results.
   Summary runtime;                      ///< ROI runtime across replicates.
   std::map<std::string, Summary> stats; ///< Per-statistic aggregates.
+  /// Host wall-clock nanoseconds per replicate (execution metadata, not
+  /// science).  Zero-count when the runs were never measured.  Excluded
+  /// from reports unless the sink's timing mode is enabled.
+  Summary wall_ns;
 
   /// Copy of everything except the raw `runs` (they dominate the
   /// footprint).  The one place that knows which fields a report carries;
@@ -114,6 +118,7 @@ struct CellResult {
     copy.seeds = seeds;
     copy.runtime = runtime;
     copy.stats = stats;
+    copy.wall_ns = wall_ns;
     return copy;
   }
 };

@@ -44,6 +44,18 @@ class Event {
                 !std::is_same_v<std::decay_t<F>, Event> &&
                 std::is_invocable_r_v<void, std::decay_t<F>&>>>
   Event(F&& fn) {  // NOLINT: implicit by design (mirrors std::function).
+    emplace(std::forward<F>(fn));
+  }
+
+  /// Replaces the held callable, constructing the new one directly in the
+  /// inline buffer.  The event kernel uses this to build callables in
+  /// place inside arena nodes — no intermediate Event, no relocation.
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, Event> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  void emplace(F&& fn) {
+    reset();
     using Fn = std::decay_t<F>;
     if constexpr (sizeof(Fn) <= kInlineBytes && alignof(Fn) <= kInlineAlign &&
                   std::is_nothrow_move_constructible_v<Fn>) {

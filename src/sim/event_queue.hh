@@ -50,12 +50,17 @@ class EventQueue {
   /// (introspection for tests and the throughput bench).
   std::size_t far_pending() const { return far_.size(); }
 
-  /// Schedules `action` to run at absolute time `when` (>= now()).
-  void schedule_at(Tick when, Action action);
+  /// Schedules `action` to run at absolute time `when` (>= now()).  The
+  /// callable is constructed directly inside the queue's node arena — a
+  /// lambda at the call site reaches its execution slot with zero
+  /// intermediate Event moves.
+  template <typename F>
+  void schedule_at(Tick when, F&& action);
 
   /// Schedules `action` to run `delay` ticks from now.
-  void schedule_in(Tick delay, Action action) {
-    schedule_at(now_ + delay, std::move(action));
+  template <typename F>
+  void schedule_in(Tick delay, F&& action) {
+    schedule_at(now_ + delay, std::forward<F>(action));
   }
 
   /// Executes the next event; returns false when the queue is empty.
@@ -74,11 +79,16 @@ class EventQueue {
 
  private:
   /// Near-horizon width in ticks (= bucket count).  128 Ki ticks = 131 ns:
-  /// wide enough that cache, mesh and DRAM hops (1-60 ns) and the core
-  /// timeshare retry (100 ns) schedule into buckets; long think-time and
+  /// wide enough that cache, mesh and DRAM hops (1-60 ns) AND the 100 ns
+  /// core timeshare retry schedule into buckets; long think-time and
   /// migration timers (and deeply queued DRAM bursts) overflow into the
   /// far heap, whose entries are 16-byte references into the same node
-  /// arena.  Measured best among 2^16..2^18 on the throughput bench.
+  /// arena.  Do not shrink below the 100 ns retry: at 2^16 the
+  /// migration profile cycles every retry through the far heap
+  /// (drain_far_slow on every ~5th event) and loses ~10% throughput even
+  /// though the smaller bucket table helps the other profiles.  Window
+  /// width never changes event ORDER — (tick, seq) order is exact at any
+  /// size — so this constant is a pure performance knob.
   static constexpr std::size_t kNearBuckets = std::size_t{1} << 17;
   static constexpr std::size_t kNearMask = kNearBuckets - 1;
   static constexpr std::uint32_t kNil = ~std::uint32_t{0};
@@ -126,7 +136,7 @@ class EventQueue {
 #endif
   }
 
-  std::uint32_t make_node(Tick when, Event action);
+  std::uint32_t make_node(Tick when);
   void release_node(std::uint32_t index);
   /// Appends arena node `index` to its tick's bucket FIFO.
   void link_near(std::uint32_t index);
@@ -175,7 +185,7 @@ class EventQueue {
 
 // --- Inline hot path ---------------------------------------------------------
 
-inline std::uint32_t EventQueue::make_node(Tick when, Event action) {
+inline std::uint32_t EventQueue::make_node(Tick when) {
   std::uint32_t index;
   if (free_head_ != kNil) {
     index = free_head_;
@@ -184,9 +194,7 @@ inline std::uint32_t EventQueue::make_node(Tick when, Event action) {
     nodes_.emplace_back();
     index = static_cast<std::uint32_t>(nodes_.size() - 1);
   }
-  Node& node = nodes_[index];
-  node.when = when;
-  node.action = std::move(action);
+  nodes_[index].when = when;
   return index;
 }
 
@@ -229,12 +237,18 @@ inline void EventQueue::link_near(std::uint32_t index) {
   ++near_count_;
 }
 
-inline void EventQueue::schedule_at(Tick when, Action action) {
+template <typename F>
+inline void EventQueue::schedule_at(Tick when, F&& action) {
   if (when < now_) {
     throw std::logic_error("EventQueue: scheduling into the past");
   }
   const std::uint64_t seq = seq_++;
-  const std::uint32_t index = make_node(when, std::move(action));
+  const std::uint32_t index = make_node(when);
+  if constexpr (std::is_same_v<std::decay_t<F>, Event>) {
+    nodes_[index].action = std::move(action);
+  } else {
+    nodes_[index].action.emplace(std::forward<F>(action));
+  }
   if (when < base_ + kNearBuckets) {
     // FIFO bucket order encodes `seq` implicitly: appends happen in
     // insertion order, and far migration (below) happens before any

@@ -62,6 +62,7 @@ core::RunResult sample_result(int salt) {
                           static_cast<Tick>(20 + salt)};
   result.stats.set("cache.misses", 17.0 + salt);
   result.stats.set("noc.bytes", 0.5 * salt);
+  result.wall_ns = 123456789ull + static_cast<std::uint64_t>(salt);
   return result;
 }
 
@@ -160,6 +161,18 @@ TEST(RunResultSerialization, RoundTrips) {
   EXPECT_EQ(restored.runtime, original.runtime);
   EXPECT_EQ(restored.thread_finish, original.thread_finish);
   EXPECT_EQ(restored.stats.values(), original.stats.values());
+  EXPECT_EQ(restored.wall_ns, original.wall_ns);
+}
+
+TEST(RunResultSerialization, ReadsPreWallNsPayloadsAsUnmeasured) {
+  // Journals written before the wall_ns field end right after the stats
+  // section; the reader must accept them and report "not recorded".
+  const std::string blob = runner::serialize_run_result(sample_result(5));
+  const std::string legacy = blob.substr(0, blob.size() - sizeof(std::uint64_t));
+  const core::RunResult restored =
+      runner::deserialize_run_result(legacy.data(), legacy.size());
+  EXPECT_EQ(restored.wall_ns, 0u);
+  EXPECT_EQ(restored.runtime, sample_result(5).runtime);
 }
 
 TEST(RunResultSerialization, RejectsTruncatedAndTrailingBytes) {
@@ -399,6 +412,60 @@ TEST(Streaming, MatchesCollectedReportsAtAnyJobCount) {
   runner::CsvStreamSink csv_sink(csv_out);
   runner::SweepRunner(3).run_streaming(spec, csv_sink);
   EXPECT_EQ(csv_out.str(), runner::to_csv(collected));
+}
+
+TEST(Streaming, TimingModeAddsWallNsAndDefaultStaysCanonical) {
+  const auto spec = tiny_spec();
+
+  // Default report: no timing field — byte-identical across runs.
+  const std::string canonical = stream_json(spec, 2);
+  EXPECT_EQ(canonical.find("wall_ns"), std::string::npos);
+
+  // Timing mode: every cell carries a wall_ns summary with one count per
+  // replicate (run_request measures every job).
+  std::ostringstream out;
+  runner::JsonStreamSink sink(out);
+  sink.set_include_timing(true);
+  runner::SweepRunner(2).run_streaming(spec, sink);
+  const std::string timed = out.str();
+  std::size_t cells = 0, pos = 0;
+  while ((pos = timed.find("\"wall_ns\"", pos)) != std::string::npos) {
+    ++cells;
+    pos += 1;
+  }
+  EXPECT_EQ(cells, spec.cell_count());
+  // Stripping the timing lines recovers the canonical bytes.
+  std::string stripped;
+  std::istringstream lines(timed);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.find("\"wall_ns\"") == std::string::npos) {
+      stripped += line + "\n";
+    }
+  }
+  EXPECT_EQ(stripped, canonical);
+}
+
+TEST(Streaming, JournalRecordsPerJobWallClock) {
+  const auto spec = tiny_spec();
+  const std::string path = temp_path("walltime.journal");
+  remove_journal(path);
+
+  std::ostringstream out;
+  runner::JsonStreamSink sink(out);
+  runner::StreamOptions options;
+  options.journal_path = path;
+  runner::SweepRunner(2).run_streaming(spec, sink, options);
+
+  const runner::JournalIndex index = runner::Journal::load_index(path);
+  ASSERT_EQ(index.entries.size(), spec.job_count());
+  runner::Journal journal = runner::Journal::open_read(path);
+  for (const runner::JournalEntry& entry : index.entries) {
+    const core::RunResult result = journal.read_payload(entry);
+    EXPECT_GT(result.wall_ns, 0u)
+        << "job " << entry.job_index << " has no measured wall clock";
+  }
+  remove_journal(path);
 }
 
 TEST(Streaming, PeakResidencyIsBoundedByTheWindowNotTheGrid) {
