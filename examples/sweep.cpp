@@ -9,6 +9,9 @@
 //                          policy  benchmarks x {first-touch, interleave}
 //                                  x {baseline, allarm}
 //                          quick   two benchmarks, shortened runs (smoke test)
+//                          trace   .altr trace files (--trace) x replay core
+//                                  counts (--cores) x {first-touch,
+//                                  interleave} x {baseline, allarm}
 //   --jobs N             worker threads (default: ALLARM_JOBS, else all cores)
 //   --seeds K            replicates per cell, seeded per grid coordinates
 //                        (default 1)
@@ -33,6 +36,17 @@
 //                        replicate) in the JSON report.  Off by default:
 //                        wall clock varies run to run, and the canonical
 //                        report must stay byte-identical for one spec
+//   --capture DIR        additionally capture every job's executed access
+//                        stream to DIR/job-<index>.altr (.altr binary
+//                        traces; see docs/TRACES.md).  Reports unchanged
+//   --replay DIR         replay every job from DIR/job-<index>.altr
+//                        (captured from the same grid) instead of running
+//                        the synthetic generators; the report is
+//                        byte-identical to the direct run at any --jobs
+//   --trace FILE         (trace grid) an .altr file to sweep; repeatable
+//   --cores LIST         (trace grid) comma-separated replay core counts
+//                        (default: all 16; a thread's captured placement
+//                        node remaps to node mod cores)
 //   --list               list available grids and exit
 //
 // Reports are streamed cell by cell — a finished cell is serialized and
@@ -40,11 +54,15 @@
 // execution metadata: the same grid, seeds and accesses produce
 // byte-identical output at any --jobs setting, across kill/--resume
 // cycles, and across --shard/--merge splits.  See docs/SWEEPS.md.
+#include <sys/stat.h>
+
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -56,6 +74,7 @@
 #include "runner/report.hh"
 #include "runner/sink.hh"
 #include "runner/sweep.hh"
+#include "trace/replay.hh"
 #include "workload/profiles.hh"
 
 namespace {
@@ -76,14 +95,20 @@ struct Options {
   std::vector<std::string> merge;
   std::size_t window = 0;
   bool timing = false;
+  std::string capture_dir;
+  std::string replay_dir;
+  std::vector<std::string> traces;
+  std::vector<std::uint32_t> cores;
 };
 
 [[noreturn]] void usage(int code) {
   std::cout <<
-      "usage: sweep --grid fig3|fig3h|policy|quick [--jobs N] [--seeds K]\n"
-      "             [--accesses N] [--seed N] [--out FILE] [--csv FILE]\n"
-      "             [--journal FILE [--resume]] [--shard K/N]\n"
-      "             [--merge FILE]... [--window N] [--timing] [--list]\n";
+      "usage: sweep --grid fig3|fig3h|policy|quick|trace [--jobs N]\n"
+      "             [--seeds K] [--accesses N] [--seed N] [--out FILE]\n"
+      "             [--csv FILE] [--journal FILE [--resume]] [--shard K/N]\n"
+      "             [--merge FILE]... [--window N] [--timing]\n"
+      "             [--capture DIR] [--replay DIR]\n"
+      "             [--trace FILE]... [--cores LIST] [--list]\n";
   std::exit(code);
 }
 
@@ -92,7 +117,49 @@ void list_grids() {
       << "fig3    all benchmarks x Table-I machine x {baseline, allarm}\n"
       << "fig3h   all benchmarks x {512, 256, 128} kB probe filter x modes\n"
       << "policy  all benchmarks x {first-touch, interleave} x modes\n"
-      << "quick   barnes + ocean-cont, shortened runs (smoke test)\n";
+      << "quick   barnes + ocean-cont, shortened runs (smoke test)\n"
+      << "trace   --trace .altr files x --cores x {first-touch, interleave}"
+         " x modes\n";
+}
+
+/// Workload label of one trace-grid cell, and its inverse.  Encoding the
+/// core count into the label keeps the (trace x cores) product on the
+/// workload axis, where the label also seeds and names the cell.
+std::string trace_label(const std::string& path, std::uint32_t cores) {
+  return path + "@" + std::to_string(cores);
+}
+
+/// Path -> open reader, shared across the grid: a trace swept at several
+/// core counts and configs is opened (and its framing CRC-verified) once,
+/// not once per (workload, config) cell.
+using TraceReaderCache =
+    std::map<std::string, std::shared_ptr<const trace::TraceReader>>;
+
+workload::WorkloadSpec make_trace_workload_for_label(
+    const std::string& label, const SystemConfig& config,
+    TraceReaderCache& readers) {
+  const auto at = label.rfind('@');
+  if (at == std::string::npos) {
+    throw std::invalid_argument("trace grid label '" + label +
+                                "' is missing its @cores suffix");
+  }
+  const auto cores =
+      static_cast<std::uint32_t>(std::strtoul(label.c_str() + at + 1,
+                                              nullptr, 10));
+  const std::string path = label.substr(0, at);
+  auto& reader = readers[path];
+  if (reader == nullptr) {
+    reader = std::make_shared<const trace::TraceReader>(path);
+  }
+  return trace::make_replay_workload(reader, config, cores);
+}
+
+/// mkdir for --capture; an existing directory is fine (rerun into it).
+void ensure_directory(const std::string& path) {
+  if (::mkdir(path.c_str(), 0755) != 0 && errno != EEXIST) {
+    throw std::runtime_error("cannot create directory " + path + ": " +
+                             std::strerror(errno));
+  }
 }
 
 runner::SweepSpec make_grid(const Options& options) {
@@ -122,11 +189,39 @@ runner::SweepSpec make_grid(const Options& options) {
     spec.accesses_per_thread = core::bench_accesses(2000);
     spec.workloads = {"barnes", "ocean-cont"};
     spec.configs = {{"table1", config}};
+  } else if (options.grid == "trace") {
+    if (options.traces.empty()) {
+      std::cerr << "--grid trace requires at least one --trace FILE\n";
+      usage(2);
+    }
+    // Trace lengths are fixed by the files; the accesses knob does not
+    // apply (and stays out of the report's meaning).
+    spec.accesses_per_thread = 0;
+    std::vector<std::uint32_t> cores = options.cores;
+    if (cores.empty()) cores = {config.num_cores};
+    spec.workloads.clear();
+    for (const std::string& path : options.traces) {
+      for (const std::uint32_t c : cores) {
+        spec.workloads.push_back(trace_label(path, c));
+      }
+    }
+    spec.configs = {{"first-touch", config, numa::AllocPolicy::kFirstTouch},
+                    {"interleave", config, numa::AllocPolicy::kInterleave}};
+    const auto readers = std::make_shared<TraceReaderCache>();
+    spec.make_workload = [readers](const std::string& label,
+                                   const SystemConfig& grid_config,
+                                   std::uint64_t) {
+      return make_trace_workload_for_label(label, grid_config, *readers);
+    };
   } else {
     std::cerr << "unknown grid '" << options.grid << "'\n";
     usage(2);
   }
-  if (options.accesses > 0) spec.accesses_per_thread = options.accesses;
+  if (options.accesses > 0 && options.grid != "trace") {
+    spec.accesses_per_thread = options.accesses;
+  }
+  spec.capture_dir = options.capture_dir;
+  spec.replay_dir = options.replay_dir;
   return spec;
 }
 
@@ -187,6 +282,29 @@ Options parse(int argc, char** argv) {
       options.window = std::strtoull(value(i), nullptr, 10);
     } else if (std::strcmp(arg, "--timing") == 0) {
       options.timing = true;
+    } else if (std::strcmp(arg, "--capture") == 0) {
+      options.capture_dir = value(i);
+    } else if (std::strcmp(arg, "--replay") == 0) {
+      options.replay_dir = value(i);
+    } else if (std::strcmp(arg, "--trace") == 0) {
+      options.traces.push_back(value(i));
+    } else if (std::strcmp(arg, "--cores") == 0) {
+      const std::string list = value(i);
+      std::size_t pos = 0;
+      while (pos <= list.size()) {
+        const std::size_t comma = list.find(',', pos);
+        const std::size_t end = comma == std::string::npos ? list.size() : comma;
+        const auto cores = static_cast<std::uint32_t>(
+            std::strtoul(list.substr(pos, end - pos).c_str(), nullptr, 10));
+        if (cores == 0) {
+          std::cerr << "--cores wants a comma-separated list of positive "
+                       "counts, got '" << list << "'\n";
+          usage(2);
+        }
+        options.cores.push_back(cores);
+        if (comma == std::string::npos) break;
+        pos = comma + 1;
+      }
     } else if (std::strcmp(arg, "--list") == 0) {
       list_grids();
       std::exit(0);
@@ -218,6 +336,28 @@ Options parse(int argc, char** argv) {
       (options.resume || !options.journal.empty() || options.shard.count > 1)) {
     std::cerr << "--merge folds existing journals; it cannot be combined "
                  "with --journal/--resume/--shard\n";
+    usage(2);
+  }
+  if (!options.capture_dir.empty() && !options.replay_dir.empty()) {
+    std::cerr << "--capture and --replay are mutually exclusive\n";
+    usage(2);
+  }
+  if (!options.capture_dir.empty() && options.resume) {
+    // Jobs replayed from the journal never execute, so their traces would
+    // silently be missing (or torn) from the capture directory.
+    std::cerr << "--capture needs a full fresh run; it cannot be combined "
+                 "with --resume\n";
+    usage(2);
+  }
+  if ((!options.capture_dir.empty() || !options.replay_dir.empty()) &&
+      options.grid == "trace") {
+    std::cerr << "--capture/--replay apply to synthetic grids; the trace "
+                 "grid already replays its --trace files\n";
+    usage(2);
+  }
+  if ((!options.traces.empty() || !options.cores.empty()) &&
+      options.grid != "trace") {
+    std::cerr << "--trace/--cores only apply to --grid trace\n";
     usage(2);
   }
   return options;
@@ -290,6 +430,7 @@ struct ReportSinks {
 
 int main(int argc, char** argv) try {
   const Options options = parse(argc, argv);
+  if (!options.capture_dir.empty()) ensure_directory(options.capture_dir);
   const runner::SweepSpec spec = make_grid(options);
 
   ReportSinks sinks(options);

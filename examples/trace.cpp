@@ -1,0 +1,267 @@
+// trace: capture, inspect and replay .altr binary access traces.
+//
+//   trace record --workload NAME --out FILE [options]
+//       Runs a synthetic benchmark profile once and captures its executed
+//       access stream (plus workload metadata and setup page placements)
+//       to FILE.  Prints the run's result block to stdout.
+//
+//   trace info FILE
+//       Prints the trace's metadata: captured workload, seed, mode,
+//       policy, per-thread placement and record counts, block/framing
+//       geometry.
+//
+//   trace cat FILE [--limit N]
+//       Streams records back out as legacy text ("<tid> <L|S|I> <hex>"),
+//       thread by thread.
+//
+//   trace replay FILE [options]
+//       Replays the trace through a fresh simulation and prints the same
+//       result block as `record`.  With the defaults (which come from the
+//       trace's own metadata: captured mode, policy and seed) the output
+//       is byte-identical to the capture run's — the property
+//       scripts/ci_trace_smoke.sh checks.
+//
+// Options:
+//   --workload NAME      benchmark profile to capture (see sweep --list)
+//   --mode M             baseline | allarm (replay default: as captured)
+//   --policy P           first-touch | interleave (replay default: as
+//                        captured)
+//   --seed N             run seed (replay default: as captured)
+//   --accesses N         ROI accesses per thread for record (default 2000,
+//                        or ALLARM_BENCH_ACCESSES)
+//   --cores N            replay on N cores (each thread's captured
+//                        placement node remaps to node mod N; default:
+//                        the captured placement)
+//   --out FILE           record: where to write the trace
+//
+// Result blocks go to stdout; banners and progress to stderr, so
+// `trace record ... > a.txt` and `trace replay ... > b.txt` diff cleanly.
+#include <cstdint>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "core/experiment.hh"
+#include "trace/convert.hh"
+#include "trace/reader.hh"
+#include "trace/replay.hh"
+#include "workload/profiles.hh"
+
+namespace {
+
+using namespace allarm;
+
+[[noreturn]] void usage(int code) {
+  std::cout <<
+      "usage: trace record --workload NAME --out FILE [--mode M] [--policy P]"
+      " [--seed N] [--accesses N]\n"
+      "       trace info FILE\n"
+      "       trace cat FILE [--limit N]\n"
+      "       trace replay FILE [--mode M] [--policy P] [--seed N]"
+      " [--cores N]\n";
+  std::exit(code);
+}
+
+struct Options {
+  std::string command;
+  std::string file;      ///< info/cat/replay positional argument.
+  std::string workload;
+  std::string out;
+  std::string mode;      ///< Empty = default (record: baseline; replay: meta).
+  std::string policy;
+  std::uint64_t seed = 0;
+  bool seed_set = false;
+  std::uint64_t accesses = 0;
+  std::uint32_t cores = 0;
+  std::uint64_t limit = 0;
+};
+
+Options parse(int argc, char** argv) {
+  if (argc < 2) usage(2);
+  Options o;
+  o.command = argv[1];
+  auto value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) usage(2);
+    return argv[++i];
+  };
+  for (int i = 2; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--workload") == 0) {
+      o.workload = value(i);
+    } else if (std::strcmp(arg, "--out") == 0) {
+      o.out = value(i);
+    } else if (std::strcmp(arg, "--mode") == 0) {
+      o.mode = value(i);
+    } else if (std::strcmp(arg, "--policy") == 0) {
+      o.policy = value(i);
+    } else if (std::strcmp(arg, "--seed") == 0) {
+      o.seed = std::strtoull(value(i), nullptr, 10);
+      o.seed_set = true;
+    } else if (std::strcmp(arg, "--accesses") == 0) {
+      o.accesses = std::strtoull(value(i), nullptr, 10);
+    } else if (std::strcmp(arg, "--cores") == 0) {
+      o.cores = static_cast<std::uint32_t>(
+          std::strtoul(value(i), nullptr, 10));
+    } else if (std::strcmp(arg, "--limit") == 0) {
+      o.limit = std::strtoull(value(i), nullptr, 10);
+    } else if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      usage(0);
+    } else if (arg[0] == '-') {
+      std::cerr << "unknown option '" << arg << "'\n";
+      usage(2);
+    } else if (o.file.empty()) {
+      o.file = arg;
+    } else {
+      std::cerr << "unexpected argument '" << arg << "'\n";
+      usage(2);
+    }
+  }
+  return o;
+}
+
+DirectoryMode parse_mode(const std::string& text) {
+  if (text == "baseline") return DirectoryMode::kBaseline;
+  if (text == "allarm") return DirectoryMode::kAllarm;
+  throw std::invalid_argument("unknown mode '" + text +
+                              "' (want baseline|allarm)");
+}
+
+numa::AllocPolicy parse_policy(const std::string& text) {
+  if (text == "first-touch") return numa::AllocPolicy::kFirstTouch;
+  if (text == "interleave") return numa::AllocPolicy::kInterleave;
+  throw std::invalid_argument("unknown policy '" + text +
+                              "' (want first-touch|interleave)");
+}
+
+const char* mode_name(std::uint32_t mode) {
+  return mode == static_cast<std::uint32_t>(DirectoryMode::kAllarm)
+             ? "allarm"
+             : "baseline";
+}
+
+const char* policy_name(std::uint32_t policy) {
+  return policy == static_cast<std::uint32_t>(numa::AllocPolicy::kInterleave)
+             ? "interleave"
+             : "first-touch";
+}
+
+/// The canonical result block: deterministic for a deterministic run, so
+/// record/replay outputs can be compared byte for byte.  Excludes
+/// execution metadata (wall_ns).
+void print_result(const std::string& workload, const core::RunResult& r) {
+  std::cout << "workload " << workload << "\n";
+  std::cout << "runtime_ns " << json_number(ns_from_ticks(r.runtime)) << "\n";
+  for (const auto& [name, value] : r.stats.values()) {
+    std::cout << name << " " << json_number(value) << "\n";
+  }
+}
+
+int cmd_record(const Options& o) {
+  if (o.workload.empty() || o.out.empty()) {
+    std::cerr << "record requires --workload and --out\n";
+    usage(2);
+  }
+  core::RunRequest request;
+  request.mode = o.mode.empty() ? DirectoryMode::kBaseline : parse_mode(o.mode);
+  request.policy = o.policy.empty() ? numa::AllocPolicy::kFirstTouch
+                                    : parse_policy(o.policy);
+  request.seed = o.seed_set ? o.seed : 1;
+  const std::uint64_t accesses =
+      o.accesses > 0 ? o.accesses : core::bench_accesses(2000);
+  request.spec =
+      workload::make_benchmark(o.workload, request.config, accesses);
+  request.capture_trace = o.out;
+
+  std::cerr << "recording " << o.workload << " (mode " << to_string(request.mode)
+            << ", seed " << request.seed << ", " << accesses
+            << " accesses/thread) -> " << o.out << "\n";
+  const core::RunResult result = core::run_request(request);
+  print_result(o.workload, result);
+
+  const trace::TraceReader reader(o.out);
+  std::cerr << "wrote " << o.out << ": " << reader.total_records()
+            << " records, " << reader.blocks().size() << " blocks, "
+            << reader.file_bytes() << " bytes\n";
+  return 0;
+}
+
+int cmd_info(const Options& o) {
+  if (o.file.empty()) usage(2);
+  const trace::TraceReader reader(o.file);
+  const trace::TraceMeta& meta = reader.meta();
+  std::cout << "file            " << o.file << "\n";
+  std::cout << "workload        " << meta.workload << "\n";
+  std::cout << "captured_mode   " << mode_name(meta.directory_mode) << "\n";
+  std::cout << "captured_policy " << policy_name(meta.alloc_policy) << "\n";
+  std::cout << "captured_seed   " << meta.seed << "\n";
+  std::cout << "threads         " << reader.thread_count() << "\n";
+  std::cout << "records         " << reader.total_records() << "\n";
+  std::cout << "blocks          " << reader.blocks().size() << "\n";
+  std::cout << "setup_touches   " << meta.setup.size() << "\n";
+  std::cout << "file_bytes      " << reader.file_bytes() << "\n";
+  TextTable table({"thread", "asid", "node", "warmup", "roi", "records",
+                   "think_ns", "jitter"});
+  for (std::uint32_t slot = 0; slot < reader.thread_count(); ++slot) {
+    const trace::TraceThreadMeta& t = meta.threads[slot];
+    table.add_row({std::to_string(t.id), std::to_string(t.asid),
+                   std::to_string(t.node), std::to_string(t.warmup_accesses),
+                   std::to_string(t.accesses),
+                   std::to_string(reader.thread_records(slot)),
+                   TextTable::fmt(ns_from_ticks(t.think), 2),
+                   TextTable::fmt(t.think_jitter, 2)});
+  }
+  std::cout << table.to_string();
+  return 0;
+}
+
+int cmd_cat(const Options& o) {
+  if (o.file.empty()) usage(2);
+  const trace::TraceReader reader(o.file);
+  trace::write_text_trace(reader, std::cout, o.limit);
+  return 0;
+}
+
+int cmd_replay(const Options& o) {
+  if (o.file.empty()) usage(2);
+  auto reader = std::make_shared<const trace::TraceReader>(o.file);
+  const trace::TraceMeta& meta = reader->meta();
+
+  core::RunRequest request;
+  request.mode = o.mode.empty()
+                     ? static_cast<DirectoryMode>(meta.directory_mode)
+                     : parse_mode(o.mode);
+  request.policy = o.policy.empty()
+                       ? static_cast<numa::AllocPolicy>(meta.alloc_policy)
+                       : parse_policy(o.policy);
+  request.seed = o.seed_set ? o.seed : meta.seed;
+
+  std::cerr << "replaying " << o.file << " (" << reader->total_records()
+            << " records, mode " << to_string(request.mode) << ", seed "
+            << request.seed << ")\n";
+  const workload::WorkloadSpec spec =
+      trace::make_replay_workload(reader, request.config, o.cores);
+  const core::RunResult result = core::run_single(
+      request.config, request.mode, spec, request.seed, request.policy);
+  print_result(meta.workload, result);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  const Options options = parse(argc, argv);
+  if (options.command == "record") return cmd_record(options);
+  if (options.command == "info") return cmd_info(options);
+  if (options.command == "cat") return cmd_cat(options);
+  if (options.command == "replay") return cmd_replay(options);
+  if (options.command == "--help" || options.command == "-h") usage(0);
+  std::cerr << "unknown command '" << options.command << "'\n";
+  usage(2);
+} catch (const std::exception& e) {
+  std::cerr << "trace: " << e.what() << "\n";
+  return 1;
+}

@@ -2,13 +2,16 @@
 """Validate bench JSON reports and gate throughput regressions.
 
 Replaces the ad-hoc inline Python that used to live in the CI workflow.
-Handles both schema_version-1 report kinds:
+Handles the schema_version-1 report kinds:
 
 - kernel_throughput (bench_kernel_throughput): full-System events/sec for
   the serial / multithreaded / migration / zipf profiles.
 - generator_throughput (bench_generator_throughput): raw workload-generator
   accesses/sec, one next/ and one batch/ entry per generator kind (the
   front-end the serial profile is bound by).
+- trace_replay (bench_trace_replay): .altr trace-pipeline records/sec —
+  raw block read, record decode, a full trace-replay simulation, and the
+  equivalent direct synthetic simulation.
 
 Two checks per report:
 
@@ -45,6 +48,8 @@ Refresh the baselines by re-running the same commands CI uses:
         --out bench/baseline/BENCH_kernel.json
     ./build/bench_generator_throughput --accesses 2000000 --reps 5 \
         --out bench/baseline/BENCH_generator.json
+    ./build/bench_trace_replay --accesses 2000 --reps 5 \
+        --out bench/baseline/BENCH_trace_replay.json
 
 Exit status: 0 on pass, 1 on any schema or regression failure.
 """
@@ -59,6 +64,7 @@ GENERATOR_KINDS = ["sweep", "uniform", "zipf", "chunk", "creep", "profile"]
 GENERATOR_WORKLOADS = [
     f"{kind}/{mode}" for kind in GENERATOR_KINDS for mode in ("next", "batch")
 ]
+TRACE_WORKLOADS = ["read", "decode", "replay", "synthetic"]
 EXPECTED = {
     "kernel_throughput": {
         "workloads": KERNEL_WORKLOADS,
@@ -67,6 +73,10 @@ EXPECTED = {
     "generator_throughput": {
         "workloads": GENERATOR_WORKLOADS,
         "default_baseline": "bench/baseline/BENCH_generator.json",
+    },
+    "trace_replay": {
+        "workloads": TRACE_WORKLOADS,
+        "default_baseline": "bench/baseline/BENCH_trace_replay.json",
     },
 }
 

@@ -93,6 +93,14 @@ class Rng {
     return child;
   }
 
+  /// State equality: two equal generators produce identical streams.
+  /// Trace capture uses this to count the draws an access consumed by
+  /// stepping a pre-access snapshot forward until it matches.
+  friend bool operator==(const Rng& a, const Rng& b) {
+    return a.state_ == b.state_;
+  }
+  friend bool operator!=(const Rng& a, const Rng& b) { return !(a == b); }
+
  private:
   static std::uint64_t rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));

@@ -47,6 +47,17 @@ struct RunRequest {
   workload::WorkloadSpec spec;
   std::uint64_t seed = 1;
   numa::AllocPolicy policy = numa::AllocPolicy::kFirstTouch;
+  /// When non-empty, the run's executed access stream (plus workload
+  /// metadata and setup placements) is captured to this .altr trace file.
+  /// Pure side effect: results are unchanged (see docs/TRACES.md).
+  std::string capture_trace;
+  /// When non-empty, the run replays this .altr trace instead of building
+  /// `spec`'s generators, and the results are byte-identical to the
+  /// captured run.  The trace's recorded seed/mode/policy must match this
+  /// request (enforced; a mismatch would silently label the captured
+  /// stream's results with a different identity).  Divergent-scenario
+  /// replay goes through trace::make_replay_workload directly.
+  std::string replay_trace;
 };
 
 /// Runs `request` on a fresh System.  Thread-safe: concurrent calls never

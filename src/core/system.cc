@@ -6,8 +6,32 @@
 
 #include "common/flat_map.hh"
 #include "common/log.hh"
+#include "trace/writer.hh"
 
 namespace allarm::core {
+
+namespace {
+
+/// Number of rng draws separating two generator states: steps `before`
+/// forward until it matches `after`.  Capture-only instrumentation — the
+/// draw count per access is small (a Mix pick plus a child's one or two
+/// draws, with rare Lemire rejections), so the walk is a handful of
+/// state comparisons.
+std::uint32_t count_draws(Rng probe, const Rng& after) {
+  constexpr std::uint32_t kMaxDraws = 65536;
+  std::uint32_t draws = 0;
+  while (probe != after) {
+    probe.next();
+    if (++draws > kMaxDraws) {
+      throw std::runtime_error(
+          "trace capture: generator consumed an implausible number of rng "
+          "draws for one access");
+    }
+  }
+  return draws;
+}
+
+}  // namespace
 
 using cache::LineState;
 using coherence::PfEntry;
@@ -27,6 +51,7 @@ struct System::ThreadRuntime {
   Tick crossed_warmup_at = 0;  ///< When this thread entered its ROI.
   Tick finished_at = 0;
   System* system = nullptr;  ///< Back-pointer for the completion callback.
+  std::uint32_t capture_slot = 0;  ///< Trace-writer slot while capturing.
 
   // --- Batched issue ring (System::next_access / System::fill_ring) -------
   /// Pre-sized, allocation-free: accesses are generated in bulk via
@@ -117,7 +142,17 @@ void System::issue_next(ThreadRuntime& thread) {
     return;
   }
   --thread.remaining;
-  const workload::Access access = next_access(thread);
+  workload::Access access;
+  if (capture_ == nullptr) {
+    access = next_access(thread);
+  } else {
+    // Capture: snapshot the rng around the (serial-path) generation so the
+    // record carries the exact draw count replay must burn.
+    const Rng before = thread.rng;
+    access = next_access(thread);
+    capture_->record(thread.capture_slot, access,
+                     count_draws(before, thread.rng));
+  }
   const Addr paddr = os_.touch(thread.spec.asid, access.vaddr, node);
 
   ++accesses_done_;
@@ -239,8 +274,30 @@ RunResult System::run(const workload::WorkloadSpec& spec,
   ran_ = true;
   invariant_period_ = options.invariant_check_period;
   migration_rng_ = Rng(options.seed ^ 0xabcdef);
+  capture_ = options.capture;
 
+  // Capture observes the setup phase's first-touch placements: replaying
+  // those touches, in order, reproduces the page homes (and the
+  // interleave policy's allocation counter) exactly.
+  std::vector<trace::SetupTouch> setup_touches;
+  if (capture_ != nullptr) {
+    os_.set_touch_observer(
+        [](void* ctx, AddressSpaceId asid, PageNum vpage, NodeId node) {
+          static_cast<std::vector<trace::SetupTouch>*>(ctx)->push_back(
+              trace::SetupTouch{asid, vpage, node});
+        },
+        &setup_touches);
+  }
   if (spec.setup) spec.setup(os_);
+  if (capture_ != nullptr) {
+    os_.set_touch_observer(nullptr, nullptr);
+    trace::TraceMeta& meta = capture_->meta();
+    meta.workload = spec.name;
+    meta.seed = options.seed;
+    meta.directory_mode = static_cast<std::uint32_t>(config_.directory_mode);
+    meta.alloc_policy = static_cast<std::uint32_t>(os_.policy());
+    meta.setup = std::move(setup_touches);
+  }
 
   Rng seeder(options.seed);
   for (const workload::ThreadSpec& ts : spec.threads) {
@@ -252,8 +309,23 @@ RunResult System::run(const workload::WorkloadSpec& spec,
     rt->node = ts.node;
     rt->in_warmup = ts.warmup_accesses > 0;
     // Think-jitter draws interleave with generation draws access by
-    // access; pre-generating a batch would reorder them.
-    rt->use_ring = ts.think == 0 || ts.think_jitter <= 0.0;
+    // access; pre-generating a batch would reorder them.  Capture also
+    // issues serially (stream-identical) so each record's rng-draw count
+    // belongs to exactly one access.
+    rt->use_ring =
+        (ts.think == 0 || ts.think_jitter <= 0.0) && capture_ == nullptr;
+    if (capture_ != nullptr) {
+      trace::TraceThreadMeta thread_meta;
+      thread_meta.id = ts.id;
+      thread_meta.asid = ts.asid;
+      thread_meta.node = ts.node;
+      thread_meta.accesses = ts.accesses;
+      thread_meta.warmup_accesses = ts.warmup_accesses;
+      thread_meta.think = ts.think;
+      thread_meta.think_jitter = ts.think_jitter;
+      thread_meta.start_offset = ts.start_offset;
+      rt->capture_slot = capture_->add_thread(thread_meta);
+    }
     rt->system = this;
     // Pre-size the replay snapshot so steady-state fills never allocate.
     rt->generator->save_state(rt->fill_state);

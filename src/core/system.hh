@@ -25,6 +25,10 @@
 #include "sim/event_queue.hh"
 #include "workload/spec.hh"
 
+namespace allarm::trace {
+class TraceWriter;  // trace/writer.hh
+}
+
 namespace allarm::core {
 
 /// Optional run-time knobs.
@@ -35,6 +39,14 @@ struct RunOptions {
   Tick migration_interval = 0;
   /// Invariant-checking period in executed accesses (0 = only at the end).
   std::uint64_t invariant_check_period = 0;
+  /// When set, the run's full context is captured into this trace writer:
+  /// the workload's thread metadata, the setup phase's first-touch page
+  /// placements, and every executed access with the rng-draw count its
+  /// generator consumed — everything trace replay needs to reproduce the
+  /// run byte-identically.  The caller finishes the writer after run().
+  /// Capture forces the serial issue path (stream-identical to the ring by
+  /// the next_batch contract) so draw counts attribute to single accesses.
+  trace::TraceWriter* capture = nullptr;
 };
 
 /// Results of one run.
@@ -120,6 +132,7 @@ class System {
   energy::EnergyModel energy_;
 
   std::vector<std::unique_ptr<ThreadRuntime>> threads_;
+  trace::TraceWriter* capture_ = nullptr;  ///< Non-null while capturing.
   Tick migration_interval_ = 0;
   /// Scratch for migration_tick's running-thread census (reused across
   /// ticks instead of reallocating a vector per migration interval).

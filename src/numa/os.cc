@@ -128,6 +128,11 @@ const PageNum* Os::touch_slow(const PageKey& key, NodeId node) {
   const NodeId toucher = key.asid == kKernelAsid
                              ? static_cast<NodeId>(key.vpage % num_nodes_)
                              : node;
+  if (touch_observer_ != nullptr) {
+    // Report the caller's node, not the derived kernel toucher: replaying
+    // the touch from that node recomputes the same placement.
+    touch_observer_(touch_observer_ctx_, key.asid, key.vpage, node);
+  }
   return page_table_.try_emplace(key, allocate_frame(key.vpage, toucher))
       .first;
 }

@@ -121,6 +121,19 @@ class Os {
     frames_.set_node_capacity(frames);
   }
 
+  /// Observer of first-touch page mappings: called from the unmapped-page
+  /// path only (never on the page-table-hit fast path) with the mapped
+  /// key's address space (kernel touches report kKernelAsid), the virtual
+  /// page and the toucher's node.  Trace capture installs it around the
+  /// workload's setup phase to record the placements replay must
+  /// reproduce; pass nullptr to clear.
+  using TouchObserver = void (*)(void* ctx, AddressSpaceId asid, PageNum vpage,
+                                 NodeId node);
+  void set_touch_observer(TouchObserver observer, void* ctx) {
+    touch_observer_ = observer;
+    touch_observer_ctx_ = ctx;
+  }
+
   // --- Thread scheduling ---------------------------------------------------
 
   /// Binds `thread` to `node` (initial placement or migration).
@@ -174,6 +187,8 @@ class Os {
   FrameAllocator frames_;
   FlatMap<PageKey, PageNum, PageKeyHash> page_table_;
   FlatMap<ThreadId, NodeId> thread_node_;
+  TouchObserver touch_observer_ = nullptr;
+  void* touch_observer_ctx_ = nullptr;
   std::vector<std::vector<NodeId>> spill_orders_;
   std::uint64_t interleave_next_ = 0;
   OsStats stats_;

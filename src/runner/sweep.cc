@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <condition_variable>
+#include <exception>
 #include <map>
 #include <mutex>
 #include <optional>
@@ -186,6 +187,13 @@ std::uint64_t spec_hash(const SweepSpec& spec) {
   // A custom factory is code — unhashable.  Folding its presence at least
   // separates custom-factory journals from default-factory ones.
   h.update_u32(spec.make_workload ? 1 : 0);
+  // Trace replay changes every job's workload source; fold it so a
+  // replayed sweep's journal can never resume a synthetic one (or vice
+  // versa).  Capture is a pure side effect and is deliberately NOT folded.
+  if (!spec.replay_dir.empty()) {
+    h.update(std::string("replay"));
+    h.update(spec.replay_dir);
+  }
   // Fold every per-job seed: a change to the derivation scheme (or the
   // base seed) changes the hash even when the axes look identical.
   for (std::uint32_t w = 0; w < spec.workloads.size(); ++w) {
@@ -259,6 +267,17 @@ std::vector<Job> expand_jobs(const SweepSpec& spec) {
           job.request.spec = workload_spec;
           job.request.seed = job_seed(spec.base_seed, w, r);
           job.request.policy = point.policy;
+          // Traces pair with jobs by grid index (== jobs.size() here:
+          // the loops enumerate the grid in order), so a capture run's
+          // directory replays positionally under the same spec.
+          if (!spec.capture_dir.empty()) {
+            job.request.capture_trace = spec.capture_dir + "/job-" +
+                                        std::to_string(jobs.size()) + ".altr";
+          }
+          if (!spec.replay_dir.empty()) {
+            job.request.replay_trace = spec.replay_dir + "/job-" +
+                                       std::to_string(jobs.size()) + ".altr";
+          }
           jobs.push_back(std::move(job));
         }
       }
@@ -336,9 +355,18 @@ StreamStats SweepRunner::run_streaming(const SweepSpec& spec, ResultSink& sink,
 
   // Completion plumbing must outlive the pool: if a sink throws mid-sweep,
   // the pool's destructor still drains in-flight jobs, which push here.
+  // A job that throws (e.g. a missing/corrupt --replay trace) parks its
+  // exception instead of a result — letting it escape on a pool worker
+  // would std::terminate the process instead of the documented
+  // std::runtime_error -> nonzero-exit error path.
+  struct Completion {
+    std::uint64_t job_index = 0;
+    core::RunResult result;
+    std::exception_ptr error;
+  };
   std::mutex mutex;
   std::condition_variable done_cv;
-  std::vector<std::pair<std::uint64_t, core::RunResult>> completed;
+  std::vector<Completion> completed;
 
   ThreadPool pool(jobs_);
   const std::size_t window =
@@ -375,10 +403,16 @@ StreamStats SweepRunner::run_streaming(const SweepSpec& spec, ResultSink& sink,
       } else {
         const Job& job = jobs[job_index];
         pool.submit([&job, job_index, &mutex, &done_cv, &completed] {
-          core::RunResult result = core::run_request(job.request);
+          Completion done;
+          done.job_index = job_index;
+          try {
+            done.result = core::run_request(job.request);
+          } catch (...) {
+            done.error = std::current_exception();
+          }
           {
             std::lock_guard<std::mutex> lock(mutex);
-            completed.emplace_back(job_index, std::move(result));
+            completed.push_back(std::move(done));
           }
           done_cv.notify_one();
         });
@@ -389,7 +423,7 @@ StreamStats SweepRunner::run_streaming(const SweepSpec& spec, ResultSink& sink,
     // Collect finished jobs.  Block only when neither issuing nor folding
     // can make progress — then some pool job is still running and its
     // completion is the only possible next event.
-    std::vector<std::pair<std::uint64_t, core::RunResult>> batch;
+    std::vector<Completion> batch;
     {
       std::unique_lock<std::mutex> lock(mutex);
       if (completed.empty()) {
@@ -402,11 +436,16 @@ StreamStats SweepRunner::run_streaming(const SweepSpec& spec, ResultSink& sink,
       }
       batch.swap(completed);
     }
-    for (auto& [job_index, result] : batch) {
+    for (Completion& done : batch) {
+      // Rethrow a failed job on this (the folding) thread, where callers
+      // expect sweep errors to surface.  In-flight jobs drain through the
+      // pool destructor; their completions are simply dropped.
+      if (done.error) std::rethrow_exception(done.error);
       if (journal) {
-        journal->append(job_index, jobs[job_index].request.seed, result);
+        journal->append(done.job_index, jobs[done.job_index].request.seed,
+                        done.result);
       }
-      resident.emplace(job_index, std::move(result));
+      resident.emplace(done.job_index, std::move(done.result));
     }
     note_peak();
 

@@ -63,6 +63,19 @@ struct SweepSpec {
   /// Defaults to workload::make_benchmark; tests substitute tiny profiles.
   WorkloadFactory make_workload;
 
+  /// When non-empty, every job additionally captures its executed access
+  /// stream to `<capture_dir>/job-<grid-index>.altr`.  Pure side effect:
+  /// results and reports are unchanged (not folded into spec_hash).
+  std::string capture_dir;
+  /// When non-empty, every job replays `<replay_dir>/job-<grid-index>.altr`
+  /// instead of its synthetic workload.  With traces captured from the
+  /// same spec, the report is byte-identical to the direct run at any
+  /// --jobs.  Folded into spec_hash: a replayed sweep is a different
+  /// workload source than a synthetic one (the hash covers the directory
+  /// name, not the trace contents — like a custom factory, trace bytes
+  /// are not hashable up front; do not swap trace files between resumes).
+  std::string replay_dir;
+
   std::uint64_t cell_count() const {
     return static_cast<std::uint64_t>(workloads.size()) * configs.size() *
            modes.size();

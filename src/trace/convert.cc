@@ -1,0 +1,108 @@
+#include "trace/convert.hh"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/flat_map.hh"
+
+namespace allarm::trace {
+
+namespace {
+
+char letter_of(AccessType t) {
+  switch (t) {
+    case AccessType::kLoad: return 'L';
+    case AccessType::kStore: return 'S';
+    case AccessType::kInstFetch: return 'I';
+  }
+  return '?';
+}
+
+AccessType type_of(char c, std::size_t line_no) {
+  switch (c) {
+    case 'L': case 'l': return AccessType::kLoad;
+    case 'S': case 's': return AccessType::kStore;
+    case 'I': case 'i': return AccessType::kInstFetch;
+    default:
+      throw std::runtime_error("trace line " + std::to_string(line_no) +
+                               ": unknown access type '" + c + "'");
+  }
+}
+
+}  // namespace
+
+void write_text_record(std::ostream& out, ThreadId thread,
+                       const workload::Access& access) {
+  out << thread << ' ' << letter_of(access.type) << ' ' << std::hex
+      << access.vaddr << std::dec << '\n';
+}
+
+bool TextTraceScanner::next(TextRecord& out) {
+  while (std::getline(in_, line_)) {
+    ++line_no_;
+    const auto hash = line_.find('#');
+    if (hash != std::string::npos) line_.erase(hash);
+    std::istringstream fields(line_);
+    std::uint64_t thread = 0;
+    std::string type;
+    std::string addr;
+    if (!(fields >> thread)) continue;  // Blank / comment-only line.
+    if (!(fields >> type >> addr) || type.empty()) {
+      throw std::runtime_error("trace line " + std::to_string(line_no_) +
+                               ": expected '<tid> <L|S|I> <hex-addr>'");
+    }
+    out.thread = static_cast<ThreadId>(thread);
+    out.access.type = type_of(type[0], line_no_);
+    try {
+      out.access.vaddr = std::stoull(addr, nullptr, 16);
+    } catch (const std::exception&) {
+      throw std::runtime_error("trace line " + std::to_string(line_no_) +
+                               ": bad address '" + addr + "'");
+    }
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t convert_text_trace(std::istream& in, TraceWriter& writer) {
+  TextTraceScanner scanner(in);
+  // Threads the caller pre-registered (e.g. to fix the slot order) are
+  // reused, matched by id; unknown ids register on first appearance.
+  FlatMap<ThreadId, std::uint32_t> slots;
+  for (std::uint32_t slot = 0; slot < writer.meta().threads.size(); ++slot) {
+    slots.try_emplace(writer.meta().threads[slot].id, slot);
+  }
+  TextRecord record;
+  std::uint64_t converted = 0;
+  while (scanner.next(record)) {
+    const std::uint32_t* slot = slots.find(record.thread);
+    if (slot == nullptr) {
+      TraceThreadMeta meta;
+      meta.id = record.thread;
+      slot = slots.try_emplace(record.thread, writer.add_thread(meta)).first;
+    }
+    writer.record(*slot, record.access, /*rng_draws=*/0);
+    ++converted;
+  }
+  return converted;
+}
+
+std::uint64_t write_text_trace(const TraceReader& reader, std::ostream& out,
+                               std::uint64_t max_records) {
+  std::uint64_t written = 0;
+  for (std::uint32_t slot = 0; slot < reader.thread_count(); ++slot) {
+    const ThreadId tid = reader.meta().threads[slot].id;
+    TraceCursor cursor(reader, slot);
+    Record record;
+    while (cursor.next(record)) {
+      if (max_records != 0 && written >= max_records) return written;
+      write_text_record(out, tid, record.access);
+      ++written;
+    }
+  }
+  return written;
+}
+
+}  // namespace allarm::trace

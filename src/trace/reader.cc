@@ -1,0 +1,206 @@
+#include "trace/reader.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/checksum.hh"
+
+namespace allarm::trace {
+
+namespace {
+
+[[noreturn]] void bad_trace(const std::string& path, const std::string& why) {
+  throw std::runtime_error("trace " + path + ": " + why);
+}
+
+}  // namespace
+
+TraceReader::TraceReader(const std::string& path)
+    : file_(path, File::Mode::kRead), file_size_(file_.size()) {
+  const std::uint64_t size = file_size_;
+  if (size < sizeof(FileHeader) + sizeof(Footer)) {
+    bad_trace(path, "file too short for header + footer");
+  }
+
+  FileHeader header;
+  file_.read_at(0, &header, sizeof(header));
+  if (header.magic != kFileMagic) bad_trace(path, "bad magic");
+  if (header.version != kFormatVersion) {
+    bad_trace(path, "unsupported version " + std::to_string(header.version));
+  }
+  if (header.header_crc != crc32c(&header, offsetof(FileHeader, header_crc))) {
+    bad_trace(path, "file header checksum mismatch");
+  }
+
+  Footer footer;
+  file_.read_at(size - sizeof(Footer), &footer, sizeof(footer));
+  if (footer.magic != kFooterMagic) {
+    bad_trace(path, "missing footer (torn capture? the writer never "
+                    "reached finish())");
+  }
+  if (footer.version != kFormatVersion) {
+    bad_trace(path,
+              "unsupported footer version " + std::to_string(footer.version));
+  }
+  if (footer.footer_crc != crc32c(&footer, offsetof(Footer, footer_crc))) {
+    bad_trace(path, "footer checksum mismatch");
+  }
+  // Validate the counted sizes BEFORE doing arithmetic or allocation with
+  // them: a crafted footer must fail here as a runtime_error, not as an
+  // overflow-defeated geometry check, a length_error from resize, or a
+  // multi-GiB speculative allocation.
+  if (footer.block_count > size / sizeof(IndexEntry)) {
+    bad_trace(path, "footer block count exceeds the file size");
+  }
+  const std::uint64_t index_bytes = footer.block_count * sizeof(IndexEntry);
+  if (footer.index_offset + index_bytes + sizeof(Footer) != size ||
+      footer.index_offset > size) {
+    bad_trace(path, "footer geometry does not match the file size");
+  }
+
+  index_.resize(footer.block_count);
+  file_.read_at(footer.index_offset, index_.data(), index_bytes);
+  if (footer.index_crc != crc32c(index_.data(), index_bytes)) {
+    bad_trace(path, "block index checksum mismatch");
+  }
+
+  // Meta block.
+  if (footer.meta_offset + sizeof(BlockHeader) > size) {
+    bad_trace(path, "meta block offset out of range");
+  }
+  BlockHeader meta_header;
+  file_.read_at(footer.meta_offset, &meta_header, sizeof(meta_header));
+  if (meta_header.header_crc !=
+      crc32c(&meta_header, offsetof(BlockHeader, header_crc))) {
+    bad_trace(path, "meta block header checksum mismatch");
+  }
+  if (meta_header.kind != kBlockMeta) bad_trace(path, "meta block missing");
+  if (footer.meta_offset + sizeof(BlockHeader) + meta_header.payload_size >
+      size) {
+    bad_trace(path, "meta block payload extends past the file");
+  }
+  std::string meta_payload(meta_header.payload_size, '\0');
+  file_.read_at(footer.meta_offset + sizeof(BlockHeader), meta_payload.data(),
+                meta_payload.size());
+  if (meta_header.payload_crc != crc32c(meta_payload)) {
+    bad_trace(path, "meta block payload checksum mismatch");
+  }
+  meta_ = decode_meta(meta_payload.data(), meta_payload.size());
+  if (meta_.threads.size() != footer.thread_count) {
+    bad_trace(path, "thread table does not match the footer");
+  }
+
+  // Per-thread block lists and record totals.
+  thread_blocks_.resize(meta_.threads.size());
+  thread_records_.assign(meta_.threads.size(), 0);
+  for (const IndexEntry& entry : index_) {
+    if (entry.thread_slot >= meta_.threads.size()) {
+      bad_trace(path, "index references an unknown thread slot");
+    }
+    auto& list = thread_blocks_[entry.thread_slot];
+    if (entry.first_index != thread_records_[entry.thread_slot]) {
+      bad_trace(path, "thread stream has a gap at block index " +
+                          std::to_string(entry.first_index));
+    }
+    list.push_back(entry);
+    thread_records_[entry.thread_slot] += entry.record_count;
+    total_records_ += entry.record_count;
+  }
+  if (total_records_ != footer.total_records) {
+    bad_trace(path, "index record count does not match the footer");
+  }
+}
+
+void TraceReader::load_block(const IndexEntry& block,
+                             std::string& payload) const {
+  BlockHeader header;
+  file_.read_at(block.offset, &header, sizeof(header));
+  if (header.header_crc !=
+      crc32c(&header, offsetof(BlockHeader, header_crc))) {
+    bad_trace(file_.path(), "block header checksum mismatch at offset " +
+                                std::to_string(block.offset));
+  }
+  if (header.kind != kBlockRecords || header.thread_slot != block.thread_slot ||
+      header.record_count != block.record_count ||
+      header.first_index != block.first_index) {
+    bad_trace(file_.path(), "block header disagrees with the footer index "
+                            "at offset " + std::to_string(block.offset));
+  }
+  if (block.offset + sizeof(header) + header.payload_size > file_size_) {
+    bad_trace(file_.path(), "block payload extends past the file at offset " +
+                                std::to_string(block.offset));
+  }
+  payload.resize(header.payload_size);
+  file_.read_at(block.offset + sizeof(header), payload.data(), payload.size());
+  if (header.payload_crc != crc32c(payload)) {
+    bad_trace(file_.path(), "block payload checksum mismatch at offset " +
+                                std::to_string(block.offset));
+  }
+}
+
+// -------------------------------------------------------------- cursor ----
+
+TraceCursor::TraceCursor(std::shared_ptr<const TraceReader> reader,
+                         std::uint32_t slot)
+    : owner_(std::move(reader)),
+      reader_(owner_.get()),
+      blocks_(&reader_->thread_blocks(slot)),
+      slot_(slot),
+      size_(reader_->thread_records(slot)) {}
+
+TraceCursor::TraceCursor(const TraceReader& reader, std::uint32_t slot)
+    : reader_(&reader),
+      blocks_(&reader_->thread_blocks(slot)),
+      slot_(slot),
+      size_(reader_->thread_records(slot)) {}
+
+void TraceCursor::load(std::size_t block_pos) {
+  const IndexEntry& block = (*blocks_)[block_pos];
+  reader_->load_block(block, payload_);
+  decoder_ = Decoder{reinterpret_cast<const unsigned char*>(payload_.data()),
+                     payload_.size(), 0};
+  prev_vaddr_ = 0;
+  block_pos_ = block_pos;
+  left_in_block_ = block.record_count;
+  loaded_ = true;
+}
+
+bool TraceCursor::next(Record& out) {
+  if (position_ >= size_) return false;
+  if (!loaded_ || left_in_block_ == 0) {
+    load(loaded_ ? block_pos_ + 1 : 0);
+  }
+  out = decode_record(decoder_, prev_vaddr_);
+  --left_in_block_;
+  ++position_;
+  return true;
+}
+
+void TraceCursor::seek(std::uint64_t index) {
+  if (index > size_) {
+    throw std::out_of_range("TraceCursor: seek past end of stream");
+  }
+  position_ = index;
+  loaded_ = false;
+  left_in_block_ = 0;
+  if (index >= size_) return;  // Next next() returns false.
+
+  // Last block whose first_index <= index.
+  const auto it = std::upper_bound(
+      blocks_->begin(), blocks_->end(), index,
+      [](std::uint64_t i, const IndexEntry& b) { return i < b.first_index; });
+  const std::size_t block_pos =
+      static_cast<std::size_t>(it - blocks_->begin()) - 1;
+  load(block_pos);
+
+  // Decode-skip to the target record.  Skipping burns no rng state — the
+  // caller owns rng positioning (System's replay path restores its own
+  // snapshot); seek only moves the stream.
+  Record scratch;
+  for (std::uint64_t i = (*blocks_)[block_pos].first_index; i < index; ++i) {
+    scratch = decode_record(decoder_, prev_vaddr_);
+    --left_in_block_;
+  }
+}
+
+}  // namespace allarm::trace

@@ -1,0 +1,110 @@
+// Streaming .altr trace reader.
+//
+// A TraceReader validates the file framing once (header, footer, block
+// index, meta block — all CRC-checked) and is immutable afterwards, so
+// any number of cursors — across threads, across concurrently running
+// simulations — can share one reader: all per-position state lives in the
+// TraceCursor, and block loads go through positional pread.
+//
+// A cursor keeps exactly one decoded block resident (its payload buffer
+// is reused across block loads, so steady-state iteration allocates
+// nothing) and can seek to any per-thread record index in O(log blocks)
+// via the footer index — the mechanism TraceReplayGenerator's
+// save_state/restore_state rewind uses.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/fileio.hh"
+#include "trace/format.hh"
+
+namespace allarm::trace {
+
+class TraceReader {
+ public:
+  /// Opens and validates `path`; throws std::runtime_error on a missing
+  /// footer, bad magic/version, or any framing CRC mismatch.
+  explicit TraceReader(const std::string& path);
+
+  const TraceMeta& meta() const { return meta_; }
+  std::uint32_t thread_count() const {
+    return static_cast<std::uint32_t>(meta_.threads.size());
+  }
+  std::uint64_t total_records() const { return total_records_; }
+
+  /// Records stored for one thread slot (sum of its blocks' counts).
+  std::uint64_t thread_records(std::uint32_t slot) const {
+    return thread_records_.at(slot);
+  }
+
+  /// All record blocks, in file order.
+  const std::vector<IndexEntry>& blocks() const { return index_; }
+
+  /// One thread's record blocks, in stream (first_index) order.
+  const std::vector<IndexEntry>& thread_blocks(std::uint32_t slot) const {
+    return thread_blocks_.at(slot);
+  }
+
+  /// Reads one block's payload into `payload` (reusing its capacity) and
+  /// verifies the header and payload CRCs; throws on any mismatch.
+  void load_block(const IndexEntry& block, std::string& payload) const;
+
+  std::uint64_t file_bytes() const { return file_size_; }
+  const std::string& path() const { return file_.path(); }
+
+ private:
+  File file_;
+  std::uint64_t file_size_ = 0;  ///< Immutable after open (read-only file).
+  TraceMeta meta_;
+  std::vector<IndexEntry> index_;
+  std::vector<std::vector<IndexEntry>> thread_blocks_;
+  std::vector<std::uint64_t> thread_records_;
+  std::uint64_t total_records_ = 0;
+};
+
+/// Sequential/seekable iterator over one thread's records.
+class TraceCursor {
+ public:
+  /// Owning cursor: keeps the reader alive (the generator/replay case).
+  TraceCursor(std::shared_ptr<const TraceReader> reader, std::uint32_t slot);
+
+  /// Non-owning cursor: `reader` must outlive it (stack iteration).
+  TraceCursor(const TraceReader& reader, std::uint32_t slot);
+
+  /// Per-thread index of the next record next() returns.
+  std::uint64_t position() const { return position_; }
+
+  /// Total records in this thread's stream.
+  std::uint64_t size() const { return size_; }
+
+  /// Decodes the next record; returns false at end of stream.
+  bool next(Record& out);
+
+  /// Repositions to per-thread record `index` (<= size()).  O(log blocks)
+  /// plus a decode-skip within the target block; allocation-free once the
+  /// payload buffer reached its high-water capacity.
+  void seek(std::uint64_t index);
+
+ private:
+  void load(std::size_t block_pos);
+
+  std::shared_ptr<const TraceReader> owner_;  ///< Keep-alive; may be empty.
+  const TraceReader* reader_ = nullptr;
+  const std::vector<IndexEntry>* blocks_ = nullptr;
+  std::uint32_t slot_ = 0;
+  std::uint64_t size_ = 0;
+  std::uint64_t position_ = 0;
+
+  // The one resident block.
+  std::string payload_;
+  Decoder decoder_{};
+  Addr prev_vaddr_ = 0;
+  std::size_t block_pos_ = 0;       ///< Index into blocks_ of the loaded block.
+  std::uint32_t left_in_block_ = 0; ///< Records not yet decoded from it.
+  bool loaded_ = false;
+};
+
+}  // namespace allarm::trace

@@ -1,80 +1,93 @@
 #include "workload/trace.hh"
 
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <map>
 #include <memory>
-#include <sstream>
 #include <stdexcept>
+
+#include "trace/convert.hh"
+#include "trace/reader.hh"
+#include "trace/replay.hh"
+#include "trace/writer.hh"
 
 namespace allarm::workload {
 
 namespace {
 
-char letter_of(AccessType t) {
-  switch (t) {
-    case AccessType::kLoad: return 'L';
-    case AccessType::kStore: return 'S';
-    case AccessType::kInstFetch: return 'I';
+/// Creates (and returns the path of) an empty unique temp file for the
+/// intermediate .altr a text trace streams through.  The file is unlinked
+/// as soon as the reader holds it open, so it never outlives the workload.
+std::string temp_trace_path() {
+  const char* dir = std::getenv("TMPDIR");
+  std::string path = std::string(dir != nullptr && *dir != '\0' ? dir : "/tmp") +
+                     "/allarm-trace-XXXXXX";
+  const int fd = ::mkstemp(path.data());
+  if (fd < 0) {
+    throw std::runtime_error("cannot create a temporary trace file in " +
+                             path);
   }
-  return '?';
+  ::close(fd);
+  return path;
 }
 
-AccessType type_of(char c, std::size_t line_no) {
-  switch (c) {
-    case 'L': case 'l': return AccessType::kLoad;
-    case 'S': case 's': return AccessType::kStore;
-    case 'I': case 'i': return AccessType::kInstFetch;
-    default:
-      throw std::runtime_error("trace line " + std::to_string(line_no) +
-                               ": unknown access type '" + c + "'");
+/// Sets the per-thread placement/timing metadata the text format does not
+/// carry, then assembles the replay workload.  Writer slots register in
+/// input-appearance order (streaming conversion cannot know the id set up
+/// front), but thread ORDER in the spec seeds the per-thread rng streams,
+/// so the assembled threads are sorted by id — which thread happens to
+/// appear first in the input must not change any stream.  Threads are
+/// placed on core (id mod cores).
+WorkloadSpec finish_text_workload(trace::TraceWriter&& writer,
+                                  const std::string& tmp_path,
+                                  const SystemConfig& config, Tick think) {
+  if (writer.meta().threads.empty()) {
+    throw std::invalid_argument("make_trace_workload: empty trace");
   }
+  for (std::uint32_t slot = 0; slot < writer.meta().threads.size(); ++slot) {
+    trace::TraceThreadMeta& t = writer.meta().threads[slot];
+    t.node = static_cast<NodeId>(t.id % config.num_nodes());
+    t.accesses = writer.thread_records(slot);
+    t.think = think;
+  }
+  writer.meta().workload = "trace";
+  writer.finish();
+
+  auto reader = std::make_shared<trace::TraceReader>(tmp_path);
+  std::remove(tmp_path.c_str());  // Reader holds the fd; no file left behind.
+
+  WorkloadSpec spec = trace::make_replay_workload(reader, config);
+  std::sort(spec.threads.begin(), spec.threads.end(),
+            [](const ThreadSpec& a, const ThreadSpec& b) {
+              return a.id < b.id;
+            });
+  return spec;
 }
 
-/// Replays one thread's slice of a trace.
-class TraceReplay final : public AccessGenerator {
- public:
-  explicit TraceReplay(std::vector<Access> accesses)
-      : accesses_(std::move(accesses)) {}
-
-  Access next(Rng&, Tick) override {
-    if (index_ >= accesses_.size()) {
-      throw std::logic_error("TraceReplay: ran past the end of the trace");
-    }
-    return accesses_[index_++];
-  }
-
- private:
-  std::vector<Access> accesses_;
-  std::size_t index_ = 0;
+/// Deletes its path at scope exit unless the file was already unlinked —
+/// a failed conversion must not strand temp .altr files in TMPDIR.
+/// Removing an already-removed path is a harmless ENOENT, so the success
+/// path (which unlinks as soon as the reader holds the fd) needs no
+/// disarming.
+struct TempFileGuard {
+  std::string path;
+  ~TempFileGuard() { std::remove(path.c_str()); }
 };
 
 }  // namespace
 
 std::vector<TraceRecord> parse_trace(std::istream& in) {
+  trace::TextTraceScanner scanner(in);
   std::vector<TraceRecord> records;
-  std::string line;
-  std::size_t line_no = 0;
-  while (std::getline(in, line)) {
-    ++line_no;
-    const auto hash = line.find('#');
-    if (hash != std::string::npos) line.erase(hash);
-    std::istringstream fields(line);
-    std::uint64_t thread = 0;
-    std::string type;
-    std::string addr;
-    if (!(fields >> thread)) continue;  // Blank / comment-only line.
-    if (!(fields >> type >> addr) || type.empty()) {
-      throw std::runtime_error("trace line " + std::to_string(line_no) +
-                               ": expected '<tid> <L|S|I> <hex-addr>'");
-    }
+  trace::TextRecord scanned;
+  while (scanner.next(scanned)) {
     TraceRecord r;
-    r.thread = static_cast<ThreadId>(thread);
-    r.access.type = type_of(type[0], line_no);
-    try {
-      r.access.vaddr = std::stoull(addr, nullptr, 16);
-    } catch (const std::exception&) {
-      throw std::runtime_error("trace line " + std::to_string(line_no) +
-                               ": bad address '" + addr + "'");
-    }
+    r.thread = scanned.thread;
+    r.access = scanned.access;
     records.push_back(r);
   }
   return records;
@@ -82,44 +95,46 @@ std::vector<TraceRecord> parse_trace(std::istream& in) {
 
 void write_trace(std::ostream& out, const std::vector<TraceRecord>& records) {
   for (const TraceRecord& r : records) {
-    out << r.thread << ' ' << letter_of(r.access.type) << ' ' << std::hex
-        << r.access.vaddr << std::dec << '\n';
+    trace::write_text_record(out, r.thread, r.access);
   }
 }
 
 WorkloadSpec make_trace_workload(const std::vector<TraceRecord>& records,
                                  const SystemConfig& config, Tick think) {
-  std::map<ThreadId, std::vector<Access>> per_thread;
-  for (const TraceRecord& r : records) {
-    per_thread[r.thread].push_back(r.access);
-  }
-  if (per_thread.empty()) {
+  if (records.empty()) {
     throw std::invalid_argument("make_trace_workload: empty trace");
   }
-  WorkloadSpec spec;
-  spec.name = "trace";
-  for (auto& [tid, accesses] : per_thread) {
-    ThreadSpec ts;
-    ts.id = tid;
-    ts.asid = 0;
-    ts.node = static_cast<NodeId>(tid % config.num_nodes());
-    ts.accesses = accesses.size();
-    ts.think = think;
-    ts.think_jitter = 0.0;
-    auto copy = accesses;
-    ts.make_generator = [copy] {
-      return std::make_unique<TraceReplay>(copy);
-    };
-    spec.threads.push_back(std::move(ts));
+  const std::string tmp = temp_trace_path();
+  const TempFileGuard guard{tmp};
+  trace::TraceWriter writer(tmp, trace::kDefaultBlockPayloadBytes,
+                            /*durable=*/false);
+  std::map<ThreadId, std::uint32_t> slots;
+  for (const TraceRecord& r : records) {
+    auto [it, fresh] = slots.emplace(r.thread, 0);
+    if (fresh) {
+      trace::TraceThreadMeta meta;
+      meta.id = r.thread;
+      it->second = writer.add_thread(meta);
+    }
+    writer.record(it->second, r.access, /*rng_draws=*/0);
   }
-  return spec;
+  return finish_text_workload(std::move(writer), tmp, config, think);
 }
 
 WorkloadSpec load_trace_workload(const std::string& path,
                                  const SystemConfig& config, Tick think) {
+  const std::string tmp = temp_trace_path();
+  const TempFileGuard guard{tmp};
+  trace::TraceWriter writer(tmp, trace::kDefaultBlockPayloadBytes,
+                            /*durable=*/false);
+  // One sequential pass, so single-shot inputs (FIFOs, process
+  // substitution) keep working; memory use is one text line plus one open
+  // block per thread, never the trace.  finish_text_workload re-sorts the
+  // appearance-ordered threads by id.
   std::ifstream in(path);
   if (!in) throw std::runtime_error("cannot open trace file: " + path);
-  return make_trace_workload(parse_trace(in), config, think);
+  trace::convert_text_trace(in, writer);
+  return finish_text_workload(std::move(writer), tmp, config, think);
 }
 
 }  // namespace allarm::workload

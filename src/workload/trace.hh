@@ -10,6 +10,12 @@
 // the same format so users can capture traces from the synthetic
 // generators or produce their own with external tools (e.g. a Pin or
 // DynamoRIO client).
+//
+// Loading is streamed through the binary trace subsystem (src/trace/):
+// the text file converts line by line into a temporary .altr and replays
+// through TraceReplayGenerator, so memory use is one block per thread —
+// never the whole trace.  parse_trace/write_trace keep the in-memory
+// record API for small traces and tooling.  See docs/TRACES.md.
 #pragma once
 
 #include <istream>

@@ -1,10 +1,17 @@
-// Unit tests for the common library: types, configuration, RNG, statistics.
+// Unit tests for the common library: types, configuration, RNG,
+// statistics, checksums and file I/O.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <cstdio>
+#include <numeric>
 #include <set>
+#include <string>
 #include <vector>
 
+#include "common/checksum.hh"
 #include "common/config.hh"
+#include "common/fileio.hh"
 #include "common/rng.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
@@ -209,6 +216,131 @@ TEST(Stats, Geomean) {
 TEST(Stats, Mean) {
   EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
   EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+// -------------------------------------------------------------- checksum ----
+
+TEST(Checksum, Crc32cKnownAnswerVectors) {
+  // The canonical CRC32C check value plus the RFC 3720 (iSCSI) vectors.
+  EXPECT_EQ(crc32c(std::string("123456789")), 0xE3069283u);
+  EXPECT_EQ(crc32c(std::string(32, '\0')), 0x8A9136AAu);
+  EXPECT_EQ(crc32c(std::string(32, '\xFF')), 0x62A8AB43u);
+  std::string ascending(32, '\0');
+  std::iota(ascending.begin(), ascending.end(), 0);
+  EXPECT_EQ(crc32c(ascending), 0x46DD794Eu);
+  EXPECT_EQ(crc32c(std::string()), 0u);
+}
+
+TEST(Checksum, Crc32cSeedContinuesAcrossPieces) {
+  // Checksumming in pieces through `seed` equals one pass over the whole.
+  const std::string whole = "123456789";
+  const std::uint32_t piecewise =
+      crc32c(whole.data() + 5, 4, crc32c(whole.data(), 5));
+  EXPECT_EQ(piecewise, crc32c(whole));
+  EXPECT_EQ(piecewise, 0xE3069283u);
+}
+
+TEST(Checksum, Fnv1a64KnownAnswerVectors) {
+  const auto fnv = [](const std::string& s) {
+    Fnv1a64 h;
+    h.update(s.data(), s.size());
+    return h.digest();
+  };
+  EXPECT_EQ(fnv(""), 0xcbf29ce484222325ull);  // The offset basis.
+  EXPECT_EQ(fnv("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(fnv("foobar"), 0x85944171f73967e8ull);
+  EXPECT_EQ(fnv("hello"), 0xa430d84680aabd0bull);
+}
+
+TEST(Checksum, Fnv1a64StringFoldIsLengthPrefixed) {
+  // update(std::string) folds the length first, so "ab"+"c" and "a"+"bc"
+  // hash apart — the property the sweep spec hash relies on.
+  Fnv1a64 a, b;
+  a.update(std::string("ab"));
+  a.update(std::string("c"));
+  b.update(std::string("a"));
+  b.update(std::string("bc"));
+  EXPECT_NE(a.digest(), b.digest());
+}
+
+// ---------------------------------------------------------------- fileio ----
+
+namespace {
+
+std::string test_file_path(const char* name) {
+  return testing::TempDir() + "/allarm_fileio_" + name;
+}
+
+}  // namespace
+
+TEST(FileIo, PositionalWritesAndReadsRoundTrip) {
+  const std::string path = test_file_path("positional");
+  {
+    File file(path, File::Mode::kCreate);
+    file.write_at(0, "aaaa", 4);
+    file.write_at(8, "bbbb", 4);  // Extends past EOF; bytes 4-7 read as 0.
+    file.write_at(2, "XY", 2);    // Overwrite mid-file.
+    EXPECT_EQ(file.size(), 12u);
+
+    char buf[12] = {};
+    file.read_at(0, buf, sizeof(buf));
+    EXPECT_EQ(std::string(buf, 12), std::string("aaXY\0\0\0\0bbbb", 12));
+    char mid[4] = {};
+    file.read_at(2, mid, sizeof(mid));
+    EXPECT_EQ(std::string(mid, 4), std::string("XY\0\0", 4));
+    file.sync();
+    file.close();
+  }
+  {
+    File file(path, File::Mode::kReadWrite);
+    file.truncate(4);
+    EXPECT_EQ(file.size(), 4u);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FileIo, ShortReadsAreDetected) {
+  const std::string path = test_file_path("short");
+  File file(path, File::Mode::kCreate);
+  file.write_at(0, "12345678", 8);
+
+  // read_at demands every byte; past-EOF extents throw.
+  char buf[16] = {};
+  EXPECT_THROW(file.read_at(0, buf, sizeof(buf)), std::runtime_error);
+  EXPECT_THROW(file.read_at(8, buf, 1), std::runtime_error);
+
+  // read_at_most reports the truncated count instead.
+  EXPECT_EQ(file.read_at_most(4, buf, sizeof(buf)), 4u);
+  EXPECT_EQ(std::string(buf, 4), "5678");
+  EXPECT_EQ(file.read_at_most(100, buf, sizeof(buf)), 0u);
+  file.close();
+  std::remove(path.c_str());
+}
+
+TEST(FileIo, ClosedOrInvalidFdPropagatesErrors) {
+  const std::string path = test_file_path("closed");
+  File file(path, File::Mode::kCreate);
+  file.write_at(0, "x", 1);
+  file.close();
+  EXPECT_FALSE(file.is_open());
+  file.close();  // Idempotent.
+
+  char byte = 0;
+  EXPECT_THROW(file.read_at(0, &byte, 1), std::runtime_error);
+  EXPECT_THROW(file.write_at(0, "y", 1), std::runtime_error);
+  EXPECT_THROW(file.size(), std::runtime_error);
+  EXPECT_THROW(file.sync(), std::runtime_error);
+  EXPECT_THROW(file.truncate(0), std::runtime_error);
+  std::remove(path.c_str());
+
+  // Opening a missing file read-only fails loudly, with the path.
+  const std::string missing = test_file_path("does_not_exist");
+  try {
+    File nope(missing, File::Mode::kRead);
+    FAIL() << "open of a missing file did not throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(missing), std::string::npos);
+  }
 }
 
 TEST(TextTable, AlignsColumns) {

@@ -1,9 +1,15 @@
-// Unit and integration tests for trace-file workloads.
+// Unit and integration tests for trace-file workloads: the legacy text
+// format (now streamed through the binary .altr subsystem) and
+// capture/replay round trips through core::System.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include "core/experiment.hh"
+#include "trace/reader.hh"
+#include "workload/profiles.hh"
 #include "workload/trace.hh"
 
 namespace allarm::workload {
@@ -100,6 +106,145 @@ TEST(TraceWorkload, RunsEndToEndUnderBothModes) {
     EXPECT_EQ(r.stats.get("sanity.upgrade_without_line"), 0.0);
     EXPECT_EQ(r.stats.get("sanity.wbb_collisions"), 0.0);
   }
+}
+
+TEST(TraceWorkload, LoadStreamsWithoutMaterializingRecords) {
+  // load_trace_workload must behave exactly like parse + make (it shares
+  // the same conversion), while reading the file in streaming passes.
+  const std::string path = testing::TempDir() + "/allarm_trace_load.txt";
+  std::ostringstream text;
+  for (int t = 3; t >= 0; --t) {  // Ids out of order: order must not matter.
+    for (int i = 0; i < 40; ++i) {
+      text << t << " " << (i % 4 == 0 ? 'S' : 'L') << " " << std::hex
+           << (0x50000000ull * (t + 1) + i * 64) << std::dec << "\n";
+    }
+  }
+  {
+    std::ofstream out(path);
+    out << text.str();
+  }
+  SystemConfig config;
+  const auto streamed = workload::load_trace_workload(path, config);
+  std::istringstream in(text.str());
+  const auto materialized =
+      workload::make_trace_workload(workload::parse_trace(in), config);
+
+  ASSERT_EQ(streamed.threads.size(), materialized.threads.size());
+  for (std::size_t i = 0; i < streamed.threads.size(); ++i) {
+    EXPECT_EQ(streamed.threads[i].id, materialized.threads[i].id);
+    EXPECT_EQ(streamed.threads[i].node, materialized.threads[i].node);
+    EXPECT_EQ(streamed.threads[i].accesses, materialized.threads[i].accesses);
+  }
+  const auto a = core::run_single(config, DirectoryMode::kBaseline, streamed, 5);
+  const auto b =
+      core::run_single(config, DirectoryMode::kBaseline, materialized, 5);
+  EXPECT_EQ(a.runtime, b.runtime);
+  EXPECT_EQ(a.stats.values(), b.stats.values());
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------------------- capture / replay ----
+
+namespace {
+
+/// A small fast profile covering the interesting generator shapes (Mix,
+/// Phased warm-up, CreepingShared time dependence) without the stock
+/// profiles' multi-second warm-ups.
+workload::WorkloadSpec tiny_profile(const SystemConfig& config,
+                                    double think_jitter) {
+  workload::ProfileParams p;
+  p.name = "tiny";
+  p.hot_bytes = 16 * 1024;
+  p.cold_bytes = 32 * 1024;
+  p.kernel_bytes = 128 * 1024;
+  p.kernel_advance_ns = 40.0;
+  p.shared_bytes = 64 * 1024;
+  p.think_jitter = think_jitter;
+  return workload::make_from_params(p, config, /*accesses_per_thread=*/250,
+                                    /*num_threads=*/4);
+}
+
+std::string capture_path(const char* name) {
+  return testing::TempDir() + "/allarm_capture_" + name + ".altr";
+}
+
+void expect_identical(const core::RunResult& a, const core::RunResult& b) {
+  EXPECT_EQ(a.runtime, b.runtime);
+  EXPECT_EQ(a.thread_finish, b.thread_finish);
+  EXPECT_EQ(a.stats.values(), b.stats.values());
+}
+
+}  // namespace
+
+TEST(TraceCapture, CaptureIsInvisibleAndReplayIsByteIdentical) {
+  SystemConfig config;
+  core::RunRequest direct;
+  direct.config = config;
+  direct.spec = tiny_profile(config, /*think_jitter=*/0.3);
+  direct.seed = 11;
+
+  core::RunRequest capturing = direct;
+  capturing.capture_trace = capture_path("jitter");
+
+  const core::RunResult a = core::run_request(direct);
+  const core::RunResult b = core::run_request(capturing);
+  expect_identical(a, b);  // Capture must not perturb the run.
+
+  core::RunRequest replaying = direct;
+  replaying.replay_trace = capturing.capture_trace;
+  const core::RunResult c = core::run_request(replaying);
+  expect_identical(a, c);  // Replay reproduces it byte for byte.
+
+  // The trace records exactly the executed accesses.
+  const trace::TraceReader reader(capturing.capture_trace);
+  std::uint64_t expected_records = 0;
+  for (const auto& ts : direct.spec.threads) {
+    expected_records += ts.accesses + ts.warmup_accesses;
+  }
+  EXPECT_EQ(reader.total_records(), expected_records);
+  EXPECT_EQ(reader.meta().workload, "tiny");
+  EXPECT_GT(reader.meta().setup.size(), 0u);
+  std::remove(capturing.capture_trace.c_str());
+}
+
+TEST(TraceCapture, JitterFreeReplayGoesThroughTheIssueRing) {
+  // think_jitter = 0: the replay run issues through the batched ring
+  // (capture itself is forced serial), and must still reproduce exactly.
+  SystemConfig config;
+  core::RunRequest direct;
+  direct.config = config;
+  direct.spec = tiny_profile(config, /*think_jitter=*/0.0);
+  direct.seed = 13;
+
+  core::RunRequest capturing = direct;
+  capturing.capture_trace = capture_path("ring");
+  const core::RunResult a = core::run_request(direct);
+  const core::RunResult b = core::run_request(capturing);
+  expect_identical(a, b);
+
+  core::RunRequest replaying = direct;
+  replaying.replay_trace = capturing.capture_trace;
+  expect_identical(a, core::run_request(replaying));
+  std::remove(capturing.capture_trace.c_str());
+}
+
+TEST(TraceCapture, ReplayReproducesAllarmAndInterleavePolicy) {
+  SystemConfig config;
+  core::RunRequest direct;
+  direct.config = config;
+  direct.mode = DirectoryMode::kAllarm;
+  direct.policy = numa::AllocPolicy::kInterleave;
+  direct.spec = tiny_profile(config, /*think_jitter=*/0.3);
+  direct.seed = 17;
+
+  core::RunRequest capturing = direct;
+  capturing.capture_trace = capture_path("allarm");
+  const core::RunResult a = core::run_request(capturing);
+
+  core::RunRequest replaying = direct;
+  replaying.replay_trace = capturing.capture_trace;
+  expect_identical(a, core::run_request(replaying));
+  std::remove(capturing.capture_trace.c_str());
 }
 
 TEST(TraceWorkload, AllarmStillSkipsLocalAllocations) {
