@@ -8,6 +8,8 @@
 //                                  x {baseline, allarm}
 //                          policy  benchmarks x {first-touch, interleave}
 //                                  x {baseline, allarm}
+//                          region  benchmarks x {4096,1024,256,64} B regions
+//                                  x {baseline, allarm, region}
 //                          quick   two benchmarks, shortened runs (smoke test)
 //                          trace   .altr trace files (--trace) x replay core
 //                                  counts (--cores) x {first-touch,
@@ -103,7 +105,7 @@ struct Options {
 
 [[noreturn]] void usage(int code) {
   std::cout <<
-      "usage: sweep --grid fig3|fig3h|policy|quick|trace [--jobs N]\n"
+      "usage: sweep --grid fig3|fig3h|policy|region|quick|trace [--jobs N]\n"
       "             [--seeds K] [--accesses N] [--seed N] [--out FILE]\n"
       "             [--csv FILE] [--journal FILE [--resume]] [--shard K/N]\n"
       "             [--merge FILE]... [--window N] [--timing]\n"
@@ -117,6 +119,8 @@ void list_grids() {
       << "fig3    all benchmarks x Table-I machine x {baseline, allarm}\n"
       << "fig3h   all benchmarks x {512, 256, 128} kB probe filter x modes\n"
       << "policy  all benchmarks x {first-touch, interleave} x modes\n"
+      << "region  all benchmarks x {4096, 1024, 256, 64} B regions x"
+         " {baseline, allarm, region}\n"
       << "quick   barnes + ocean-cont, shortened runs (smoke test)\n"
       << "trace   --trace .altr files x --cores x {first-touch, interleave}"
          " x modes\n";
@@ -185,6 +189,19 @@ runner::SweepSpec make_grid(const Options& options) {
     spec.accesses_per_thread = core::bench_accesses(20000);
     spec.configs = {{"first-touch", config, numa::AllocPolicy::kFirstTouch},
                     {"interleave", config, numa::AllocPolicy::kInterleave}};
+  } else if (options.grid == "region") {
+    // Region-granularity ablation: scheme x region size x workload.  The
+    // 64 B point degenerates to per-block tracking, so its region rows
+    // must match the baseline rows cell for cell (the correctness oracle;
+    // see docs/DIRECTORY.md).
+    spec.accesses_per_thread = core::bench_accesses(20000);
+    spec.modes = {DirectoryMode::kBaseline, DirectoryMode::kAllarm,
+                  DirectoryMode::kRegion};
+    for (const std::uint32_t bytes : {4096u, 1024u, 256u, 64u}) {
+      SystemConfig c = config;
+      c.region_size_bytes = bytes;
+      spec.configs.push_back({"r" + std::to_string(bytes), c});
+    }
   } else if (options.grid == "quick") {
     spec.accesses_per_thread = core::bench_accesses(2000);
     spec.workloads = {"barnes", "ocean-cont"};

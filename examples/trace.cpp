@@ -5,10 +5,11 @@
 //       access stream (plus workload metadata and setup page placements)
 //       to FILE.  Prints the run's result block to stdout.
 //
-//   trace info FILE
+//   trace info FILE [--json]
 //       Prints the trace's metadata: captured workload, seed, mode,
 //       policy, per-thread placement and record counts, block/framing
-//       geometry.
+//       geometry.  --json emits the same metadata as one JSON object
+//       (stable key order) for scripts.
 //
 //   trace cat FILE [--limit N]
 //       Streams records back out as legacy text ("<tid> <L|S|I> <hex>"),
@@ -23,7 +24,8 @@
 //
 // Options:
 //   --workload NAME      benchmark profile to capture (see sweep --list)
-//   --mode M             baseline | allarm (replay default: as captured)
+//   --mode M             baseline | allarm | region (replay default: as
+//                        captured)
 //   --policy P           first-touch | interleave (replay default: as
 //                        captured)
 //   --seed N             run seed (replay default: as captured)
@@ -33,6 +35,7 @@
 //                        placement node remaps to node mod N; default:
 //                        the captured placement)
 //   --out FILE           record: where to write the trace
+//   --json               info: machine-readable JSON instead of the table
 //
 // Result blocks go to stdout; banners and progress to stderr, so
 // `trace record ... > a.txt` and `trace replay ... > b.txt` diff cleanly.
@@ -59,7 +62,7 @@ using namespace allarm;
   std::cout <<
       "usage: trace record --workload NAME --out FILE [--mode M] [--policy P]"
       " [--seed N] [--accesses N]\n"
-      "       trace info FILE\n"
+      "       trace info FILE [--json]\n"
       "       trace cat FILE [--limit N]\n"
       "       trace replay FILE [--mode M] [--policy P] [--seed N]"
       " [--cores N]\n";
@@ -78,6 +81,7 @@ struct Options {
   std::uint64_t accesses = 0;
   std::uint32_t cores = 0;
   std::uint64_t limit = 0;
+  bool json = false;
 };
 
 Options parse(int argc, char** argv) {
@@ -108,6 +112,8 @@ Options parse(int argc, char** argv) {
           std::strtoul(value(i), nullptr, 10));
     } else if (std::strcmp(arg, "--limit") == 0) {
       o.limit = std::strtoull(value(i), nullptr, 10);
+    } else if (std::strcmp(arg, "--json") == 0) {
+      o.json = true;
     } else if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
       usage(0);
     } else if (arg[0] == '-') {
@@ -126,8 +132,9 @@ Options parse(int argc, char** argv) {
 DirectoryMode parse_mode(const std::string& text) {
   if (text == "baseline") return DirectoryMode::kBaseline;
   if (text == "allarm") return DirectoryMode::kAllarm;
+  if (text == "region") return DirectoryMode::kRegion;
   throw std::invalid_argument("unknown mode '" + text +
-                              "' (want baseline|allarm)");
+                              "' (want baseline|allarm|region)");
 }
 
 numa::AllocPolicy parse_policy(const std::string& text) {
@@ -138,9 +145,13 @@ numa::AllocPolicy parse_policy(const std::string& text) {
 }
 
 const char* mode_name(std::uint32_t mode) {
-  return mode == static_cast<std::uint32_t>(DirectoryMode::kAllarm)
-             ? "allarm"
-             : "baseline";
+  if (mode == static_cast<std::uint32_t>(DirectoryMode::kAllarm)) {
+    return "allarm";
+  }
+  if (mode == static_cast<std::uint32_t>(DirectoryMode::kRegion)) {
+    return "region";
+  }
+  return "baseline";
 }
 
 const char* policy_name(std::uint32_t policy) {
@@ -189,9 +200,55 @@ int cmd_record(const Options& o) {
   return 0;
 }
 
+/// `trace info --json`: the same metadata as the human block, one JSON
+/// object with a fixed key order so scripts can diff it.
+void print_info_json(const std::string& file, const trace::TraceReader& reader) {
+  const trace::TraceMeta& meta = reader.meta();
+  std::cout << "{\n";
+  std::cout << "  \"file\": " << json_quote(file) << ",\n";
+  std::cout << "  \"workload\": " << json_quote(meta.workload) << ",\n";
+  std::cout << "  \"captured_mode\": "
+            << json_quote(mode_name(meta.directory_mode)) << ",\n";
+  std::cout << "  \"captured_policy\": "
+            << json_quote(policy_name(meta.alloc_policy)) << ",\n";
+  std::cout << "  \"captured_seed\": "
+            << json_number(static_cast<double>(meta.seed)) << ",\n";
+  std::cout << "  \"threads\": "
+            << json_number(static_cast<double>(reader.thread_count())) << ",\n";
+  std::cout << "  \"records\": "
+            << json_number(static_cast<double>(reader.total_records()))
+            << ",\n";
+  std::cout << "  \"blocks\": "
+            << json_number(static_cast<double>(reader.blocks().size()))
+            << ",\n";
+  std::cout << "  \"setup_touches\": "
+            << json_number(static_cast<double>(meta.setup.size())) << ",\n";
+  std::cout << "  \"file_bytes\": "
+            << json_number(static_cast<double>(reader.file_bytes())) << ",\n";
+  std::cout << "  \"thread_table\": [\n";
+  for (std::uint32_t slot = 0; slot < reader.thread_count(); ++slot) {
+    const trace::TraceThreadMeta& t = meta.threads[slot];
+    std::cout << "    {\"thread\": " << t.id << ", \"asid\": " << t.asid
+              << ", \"node\": " << t.node
+              << ", \"warmup\": " << t.warmup_accesses
+              << ", \"roi\": " << t.accesses
+              << ", \"records\": " << reader.thread_records(slot)
+              << ", \"think_ns\": "
+              << json_number(ns_from_ticks(t.think))
+              << ", \"jitter\": " << json_number(t.think_jitter) << "}"
+              << (slot + 1 < reader.thread_count() ? "," : "") << "\n";
+  }
+  std::cout << "  ]\n";
+  std::cout << "}\n";
+}
+
 int cmd_info(const Options& o) {
   if (o.file.empty()) usage(2);
   const trace::TraceReader reader(o.file);
+  if (o.json) {
+    print_info_json(o.file, reader);
+    return 0;
+  }
   const trace::TraceMeta& meta = reader.meta();
   std::cout << "file            " << o.file << "\n";
   std::cout << "workload        " << meta.workload << "\n";

@@ -12,6 +12,9 @@ Handles the schema_version-1 report kinds:
 - trace_replay (bench_trace_replay): .altr trace-pipeline records/sec —
   raw block read, record decode, a full trace-replay simulation, and the
   equivalent direct synthetic simulation.
+- region (bench_ablation_region): full-System simulated events/sec across
+  the directory schemes (baseline, allarm, region at several region
+  sizes); the degenerate region/r64 row guards the shared hot path.
 
 Two checks per report:
 
@@ -50,6 +53,8 @@ Refresh the baselines by re-running the same commands CI uses:
         --out bench/baseline/BENCH_generator.json
     ./build/bench_trace_replay --accesses 2000 --reps 5 \
         --out bench/baseline/BENCH_trace_replay.json
+    ./build/bench_ablation_region --accesses 2000 --reps 5 \
+        --out bench/baseline/BENCH_region.json
 
 Exit status: 0 on pass, 1 on any schema or regression failure.
 """
@@ -65,6 +70,13 @@ GENERATOR_WORKLOADS = [
     f"{kind}/{mode}" for kind in GENERATOR_KINDS for mode in ("next", "batch")
 ]
 TRACE_WORKLOADS = ["read", "decode", "replay", "synthetic"]
+REGION_WORKLOADS = [
+    "baseline/r4096",
+    "allarm/r4096",
+    "region/r4096",
+    "region/r1024",
+    "region/r64",
+]
 EXPECTED = {
     "kernel_throughput": {
         "workloads": KERNEL_WORKLOADS,
@@ -77,6 +89,10 @@ EXPECTED = {
     "trace_replay": {
         "workloads": TRACE_WORKLOADS,
         "default_baseline": "bench/baseline/BENCH_trace_replay.json",
+    },
+    "region": {
+        "workloads": REGION_WORKLOADS,
+        "default_baseline": "bench/baseline/BENCH_region.json",
     },
 }
 

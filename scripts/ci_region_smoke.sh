@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# CI smoke for the region-granularity directory (also runs fine locally):
+#
+#  1. degenerate oracle  - a kRegion sweep at region_size == line size must
+#                          reproduce the kBaseline report byte for byte
+#                          (modulo the mode label): at one line per region
+#                          the region machinery is bypassed entirely;
+#  2. grid determinism   - the region ablation grid (scheme x region size
+#                          x workload) is byte-identical across --jobs;
+#  3. shard merge        - the same grid split into 2 shards and --merge'd
+#                          matches the single-machine run byte for byte;
+#  4. trace info --json  - the machine-readable metadata block round-trips
+#                          the captured workload/seed and the human block
+#                          stays intact.
+#
+# Usage: scripts/ci_region_smoke.sh [path-to-sweep] [path-to-trace]
+set -euo pipefail
+
+SWEEP=${1:-./build/sweep}
+TRACE=${2:-./build/trace}
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+ARGS=(--grid region --seeds 1 --accesses 300 --seed 42)
+
+echo "== 1/4 degenerate region size reproduces the baseline rows =="
+"$SWEEP" "${ARGS[@]}" --jobs 2 --csv "$WORK/region.csv" \
+         --out "$WORK/region.json"
+# The r64 config point: region rows relabeled must equal baseline rows.
+grep ',r64,baseline,' "$WORK/region.csv" > "$WORK/r64-base.csv"
+grep ',r64,region,' "$WORK/region.csv" | sed 's/,r64,region,/,r64,baseline,/' \
+    > "$WORK/r64-region.csv"
+if [ ! -s "$WORK/r64-base.csv" ] || [ ! -s "$WORK/r64-region.csv" ]; then
+    echo "FAIL: r64 rows missing from the region grid CSV"
+    exit 1
+fi
+cmp "$WORK/r64-base.csv" "$WORK/r64-region.csv"
+echo "OK: region@64B rows byte-identical to baseline rows"
+
+echo "== 2/4 region grid is deterministic across --jobs =="
+"$SWEEP" "${ARGS[@]}" --jobs 1 --out "$WORK/region-serial.json"
+cmp "$WORK/region.json" "$WORK/region-serial.json"
+echo "OK: region grid byte-identical at any --jobs"
+
+echo "== 3/4 2-shard --merge reproduces the single-machine run =="
+"$SWEEP" "${ARGS[@]}" --jobs 2 --shard 1/2 --journal "$WORK/shard1.journal"
+"$SWEEP" "${ARGS[@]}" --jobs 2 --shard 2/2 --journal "$WORK/shard2.journal"
+"$SWEEP" "${ARGS[@]}" --merge "$WORK/shard1.journal" \
+         --merge "$WORK/shard2.journal" --out "$WORK/merged.json"
+cmp "$WORK/region.json" "$WORK/merged.json"
+echo "OK: merged shard report byte-identical to the direct run"
+
+echo "== 4/4 trace info --json =="
+"$TRACE" record --workload barnes --accesses 300 --seed 7 \
+         --out "$WORK/cli.altr" > /dev/null
+"$TRACE" info "$WORK/cli.altr" > "$WORK/info.txt"
+"$TRACE" info "$WORK/cli.altr" --json > "$WORK/info.json"
+# Human block unchanged; JSON carries the same metadata machine-readably.
+grep -q "workload        barnes" "$WORK/info.txt"
+grep -q "captured_seed   7" "$WORK/info.txt"
+grep -q '"workload": "barnes"' "$WORK/info.json"
+grep -q '"captured_seed": 7' "$WORK/info.json"
+grep -q '"captured_mode": "baseline"' "$WORK/info.json"
+python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$WORK/info.json"
+echo "OK: trace info --json is well-formed and matches the capture"
+
+echo "region smoke: all checks passed"

@@ -17,7 +17,10 @@ DirectoryController::DirectoryController(NodeId node, Fabric& fabric,
       mode_(mode),
       pf_(fabric.config->probe_filter_coverage_bytes,
           fabric.config->probe_filter_ways,
-          fabric.config->probe_filter_replacement, seed) {}
+          fabric.config->probe_filter_replacement, seed),
+      region_(mode == DirectoryMode::kRegion ? fabric.config->region_size_bytes
+                                             : kLineBytes),
+      region_on_(mode == DirectoryMode::kRegion && region_.enabled()) {}
 
 bool DirectoryController::allarm_active_for(LineAddr line) const {
   return mode_ == DirectoryMode::kAllarm && fabric_.allarm_active(line);
@@ -45,6 +48,16 @@ void DirectoryController::finish_at(LineAddr line, Tick when) {
 
 void DirectoryController::release_and_drain(LineAddr line) {
   busy_.erase(line);
+  if (region_on_) {
+    if (const NodeId* owner = pending_installs_.find(line)) {
+      const NodeId o = *owner;
+      pending_installs_.erase(line);
+      region_install_block(line, o, fabric_.events->now());
+      // A spill eviction re-acquired the line; the queue drains when that
+      // flow releases it.
+      if (busy_.count(line) != 0) return;
+    }
+  }
   OpQueue* queue = waiting_.find(line);
   if (queue == nullptr) return;
   while (!queue->empty()) {
@@ -91,6 +104,8 @@ void DirectoryController::start_request(const Request& r, Tick now) {
   if (entry) {
     pf_.touch_entry(entry);
     if (r.write) hit_getm(r, *entry, t); else hit_gets(r, *entry, t);
+  } else if (region_on_) {
+    region_miss(r, t);
   } else {
     miss(r, t);
   }
@@ -312,14 +327,18 @@ void DirectoryController::miss(const Request& r, Tick t) {
     auto victim = pf_.displace_victim(
         r.line, [this](LineAddr l) { return busy_.count(l) != 0; });
     if (!victim) {
-      // Every way pinned by in-flight transactions: retry shortly.
+      // Every way pinned by in-flight transactions: retry shortly.  In
+      // region mode the retry re-enters through the region hook: the
+      // region may have recollected (or been claimed) in the meantime.
       ++stats_.victim_stalls;
       miss_pool_.release(st);
       fabric_.at(t + fabric_.config->probe_filter_latency * 8, [this, r] {
-        miss(r, fabric_.events->now());
+        const Tick now = fabric_.events->now();
+        if (region_on_) region_miss(r, now); else miss(r, now);
       });
       return;
     }
+    if (region_on_) region_note_entry_removed(*victim);
     if (fabric_.config->eviction_gates_reply) {
       st->waiting_victim = true;
       run_eviction(*victim, t, st);
@@ -330,6 +349,7 @@ void DirectoryController::miss(const Request& r, Tick t) {
     }
   }
   pf_.insert(r.line, PfState::kEM, r.from);  // Placeholder, fixed on completion.
+  if (region_on_) region_.note_block_installed(region_.region_of(r.line));
 
   if (!allarm) {
     // Baseline: a PF miss implies the line is uncached anywhere.
@@ -468,6 +488,134 @@ void DirectoryController::run_eviction(const PfEntry& victim, Tick t,
   }
 }
 
+// --------------------------------------------------- region granularity ----
+
+void DirectoryController::region_miss(const Request& r, Tick t) {
+  // The region table is part of the directory structure the PF lookup
+  // already paid for: the probe_filter_latency charged by start_request
+  // covers both, so no extra latency is modeled here.
+  const region::RegionNum rn = region_.region_of(r.line);
+  if (region::RegionEntry* entry = region_.lookup(rn)) {
+    if (entry->owner == r.from) {
+      // Region hit: the owner misses inside its private region.  Granted
+      // E/M from home memory with no per-block entry.  A set presence bit
+      // means a grant we never saw die — defensive, the re-grant is
+      // idempotent.
+      if (!region_.mark_present(*entry, r.line)) ++stats_.anomalies;
+      region_serve(r, t);
+      return;
+    }
+    region_collapse(r, region_.collapse(rn, r.from), t);
+    return;
+  }
+  if (region_.note_miss_can_privatize(rn, r.from)) {
+    region::RegionEntry& entry = region_.install(rn, r.from);
+    region_.mark_present(entry, r.line);
+    ALLARM_LOG_TRACE("dir", node_, " region install rn=", rn, " owner=",
+                     r.from);
+    region_serve(r, t);
+    return;
+  }
+  miss(r, t);
+}
+
+void DirectoryController::region_serve(const Request& r, Tick t) {
+  const Tick t_mem = fabric_.drams[node_]->read(t);
+  const Tick t_data =
+      send(node_, r.from, MsgKind::kData, noc::TrafficCause::kResponse, t_mem);
+  grant_at(r, r.write ? LineState::kModified : LineState::kExclusive, true,
+           t_data);
+  finish_at(r.line, t_data);
+}
+
+void DirectoryController::region_collapse(const Request& r,
+                                          region::RegionEntry victim, Tick t) {
+  ALLARM_LOG_TRACE("dir", node_, " region collapse line=", r.line, " owner=",
+                   victim.owner, " sharer=", r.from);
+  const region::RegionGeometry& g = region_.geometry();
+  const LineAddr base = g.base_line(region_.region_of(r.line));
+  const unsigned my_slot = g.slot_of(r.line);
+  for (unsigned s = 0; s < g.lines_per_region; ++s) {
+    if (s == my_slot || ((victim.presence >> s) & 1) == 0) continue;
+    const LineAddr line = base + s;
+    if (busy_.count(line) != 0) {
+      // The only transaction a region-covered line can carry is a region
+      // grant to the owner still in flight; its per-block entry installs
+      // when the line is released (see release_and_drain), before any
+      // queued operation can run against the un-tracked window.
+      pending_installs_[line] = victim.owner;
+    } else {
+      region_install_block(line, victim.owner, t);
+    }
+  }
+  if (((victim.presence >> my_slot) & 1) == 0) {
+    miss(r, t);
+    return;
+  }
+  // The owner holds the requested line under the region grant: invalidate
+  // it first (retrieving dirty data), then run the ordinary miss against
+  // clean memory state.  Installing an entry and faking a PF hit instead
+  // would lose the owner's copy on the no-free-way retry path.
+  const NodeId owner = victim.owner;
+  const Tick t_probe =
+      send(node_, owner, MsgKind::kProbeInv, noc::TrafficCause::kProbe, t);
+  fabric_.at(t_probe, [this, r, owner] {
+    const ProbeResult res = fabric_.caches[owner]->probe(
+        r.line, ProbeOp::kInvalidate, fabric_.events->now());
+    // Region grants are E/M and never die silently; a clean miss here
+    // means a writeback raced ahead of us.
+    if (!res.hit()) ++stats_.anomalies;
+    const bool dirty = res.dirty();
+    const Tick t_ack =
+        send(owner, node_, dirty ? MsgKind::kAckData : MsgKind::kAck,
+             noc::TrafficCause::kProbeAck, res.done);
+    fabric_.at(t_ack, [this, r, dirty] {
+      const Tick now = fabric_.events->now();
+      if (dirty) fabric_.drams[node_]->write(now);
+      miss(r, now);
+    });
+  });
+}
+
+void DirectoryController::region_install_block(LineAddr line, NodeId owner,
+                                               Tick t) {
+  if (pf_.peek(line) != nullptr) {
+    ++stats_.anomalies;  // Dual coverage; the PF entry wins (looked up first).
+    return;
+  }
+  if (pf_.has_free_way(line)) {
+    pf_.insert(line, PfState::kEM, owner);
+    region_.note_block_installed(region_.region_of(line));
+    ++region_.stats_mut().collapse_block_installs;
+    return;
+  }
+  // No way free for the displaced block: invalidate the owner's copy
+  // instead of tracking it (a collapse spill, reusing the eviction flow).
+  ++region_.stats_mut().collapse_spills;
+  PfEntry spill;
+  spill.line = line;
+  spill.state = PfState::kEM;
+  spill.owner = owner;
+  run_eviction(spill, t, nullptr);
+}
+
+bool DirectoryController::region_put(const Put& p, Tick t) {
+  region::RegionEntry* entry = region_.lookup(region_.region_of(p.line));
+  if (entry == nullptr || entry->owner != p.from) return false;
+  if (!region_.clear_present(*entry, p.line)) return false;
+  if (p.dirty) fabric_.drams[node_]->write(t);
+  return true;
+}
+
+void DirectoryController::region_note_entry_removed(const PfEntry& removed) {
+  const auto outcome = region_.note_block_removed(
+      region_.region_of(removed.line), removed.state == PfState::kEM,
+      removed.owner);
+  if (outcome == region::RegionDirectory::Removal::kUntracked) {
+    ++stats_.anomalies;
+  }
+}
+
 // ------------------------------------------------------------- writebacks ----
 
 void DirectoryController::process_put(const Put& p, Tick now) {
@@ -477,7 +625,9 @@ void DirectoryController::process_put(const Put& p, Tick now) {
     // Sole owner gave the line up: memory gets the data, the entry is freed
     // (the paper's optimized baseline behaviour).
     if (p.dirty) fabric_.drams[node_]->write(t);
+    const PfEntry removed = *entry;
     pf_.erase_entry(entry);
+    if (region_on_) region_note_entry_removed(removed);
     ++stats_.puts_owner;
   } else if (entry && entry->owner == p.from &&
              entry->state == PfState::kOwned) {
@@ -491,6 +641,9 @@ void DirectoryController::process_put(const Put& p, Tick now) {
     // because memory is stale anyway while an M copy exists.
     ++stats_.puts_stale;
     if (p.dirty) fabric_.drams[node_]->write(t);
+  } else if (region_on_ && region_put(p, t)) {
+    // Owner writeback of a region-granted line: the presence bit was
+    // cleared (and memory updated when dirty) by region_put.
   } else {
     // No entry: an ALLARM-untracked home line, or the entry was already
     // evicted (the eviction probe consumed the cached copy via the
@@ -511,6 +664,8 @@ void DirectoryController::process_put(const Put& p, Tick now) {
 
 void DirectoryController::clear() {
   pf_.clear();
+  region_.clear();
+  pending_installs_.clear();
   busy_.clear();
   waiting_.clear();
   miss_pool_.reclaim_all();

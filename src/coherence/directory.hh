@@ -38,6 +38,7 @@
 #include "common/config.hh"
 #include "common/flat_map.hh"
 #include "common/pool.hh"
+#include "region/region.hh"
 
 namespace allarm::coherence {
 
@@ -83,6 +84,13 @@ class DirectoryController {
 
   const ProbeFilter& probe_filter() const { return pf_; }
   const DirectoryStats& stats() const { return stats_; }
+  const region::RegionDirectory& region_directory() const { return region_; }
+
+  /// True when a region entry covers `line` for `holder` (region mode's
+  /// relaxation of the baseline "no entry implies uncached" invariant).
+  bool region_covers(LineAddr line, NodeId holder) const {
+    return region_on_ && region_.covers(line, holder);
+  }
 
   /// True while a transaction for `line` is in flight.
   bool line_busy(LineAddr line) const { return busy_.count(line) != 0; }
@@ -94,6 +102,7 @@ class DirectoryController {
   void reset_stats() {
     stats_ = DirectoryStats{};
     pf_.reset_stats();
+    region_.reset_stats();
   }
 
   /// Drops all directory state (between experiment repetitions).
@@ -196,10 +205,38 @@ class DirectoryController {
 
   bool allarm_active_for(LineAddr line) const;
 
+  // --- Region-granularity paths (DirectoryMode::kRegion, src/region/) -------
+  /// PF-miss hook: serves region hits, installs/collapses region entries,
+  /// or falls through to the ordinary miss().
+  void region_miss(const Request& r, Tick t);
+  /// Grants a region-covered miss straight from home memory (no PF entry).
+  void region_serve(const Request& r, Tick t);
+  /// Walks a withdrawn entry's presence bits into per-block PF entries
+  /// (or pending installs / spills), then restarts `r` as a normal miss.
+  void region_collapse(const Request& r, region::RegionEntry victim, Tick t);
+  /// Installs a per-block entry for a line the region owner holds; when no
+  /// way is free, invalidates the copy instead (a collapse spill).
+  void region_install_block(LineAddr line, NodeId owner, Tick t);
+  /// Owner writeback of a region-granted line: clears its presence bit.
+  /// False when the line is not region-covered for this writer.
+  bool region_put(const Put& p, Tick t);
+  /// PF-entry removal bookkeeping (eviction or owner writeback): the last
+  /// block entry of a region may trigger recollection.
+  void region_note_entry_removed(const PfEntry& removed);
+
   NodeId node_;
   Fabric& fabric_;
   DirectoryMode mode_;
   ProbeFilter pf_;
+  region::RegionDirectory region_;
+  /// Dual-granularity machinery live: region mode with regions wider than
+  /// one line.  At region size == line size every hook below is skipped and
+  /// the controller runs the baseline protocol verbatim.
+  bool region_on_ = false;
+  /// Collapse found the line mid-transaction (a region grant in flight):
+  /// the per-block entry is installed when the line is released, before any
+  /// queued operation can observe the un-tracked window.
+  FlatMap<LineAddr, NodeId> pending_installs_;
   DirectoryStats stats_;
   FlatSet<LineAddr> busy_;
   FlatMap<LineAddr, OpQueue> waiting_;

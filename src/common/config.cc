@@ -7,6 +7,7 @@ std::string to_string(DirectoryMode mode) {
   switch (mode) {
     case DirectoryMode::kBaseline: return "baseline";
     case DirectoryMode::kAllarm: return "allarm";
+    case DirectoryMode::kRegion: return "region";
   }
   return "unknown";
 }
@@ -52,6 +53,11 @@ void SystemConfig::validate() const {
   const std::uint32_t pf_sets = probe_filter_entries() / probe_filter_ways;
   check(pf_sets != 0 && (pf_sets & (pf_sets - 1)) == 0,
         "probe filter set count must be a power of two");
+  check(region_size_bytes >= kLineBytes &&
+            (region_size_bytes & (region_size_bytes - 1)) == 0,
+        "region size must be a power of two of at least one line");
+  check(region_size_bytes <= kPageBytes,
+        "region size must not exceed the page size (one home per region)");
   check(flit_bytes >= 1, "flit size must be positive");
   check(control_msg_bytes >= 1 && data_msg_bytes > control_msg_bytes,
         "message sizes inconsistent");

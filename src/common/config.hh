@@ -14,6 +14,7 @@ namespace allarm {
 enum class DirectoryMode : std::uint8_t {
   kBaseline,  ///< Allocate a probe-filter entry on every miss (Hammer + PF).
   kAllarm,    ///< ALLocAte on Remote Miss (the paper's contribution).
+  kRegion,    ///< Region-granularity entries for private regions (src/region/).
 };
 
 std::string to_string(DirectoryMode mode);
@@ -70,6 +71,13 @@ struct SystemConfig {
   /// buffer that drains victim flows in the background; the
   /// bench_ablation_eviction_buffer binary compares both models.
   bool eviction_gates_reply = true;
+  /// Region size for DirectoryMode::kRegion: bytes covered by one region
+  /// directory entry.  Power of two, in [kLineBytes, kPageBytes] -- a
+  /// region never spans a page, so every region has a single home
+  /// directory.  At kLineBytes (one line per region) region mode
+  /// degenerates to the baseline protocol exactly.  Ignored by the other
+  /// modes.
+  std::uint32_t region_size_bytes = 4096;
 
   // --- Memory --------------------------------------------------------------
   std::uint64_t dram_total_bytes = 2ull * 1024 * 1024 * 1024;  ///< 2 GB.

@@ -439,11 +439,26 @@ void System::check_invariants(bool strict) const {
       if (entry == nullptr) {
         const bool allarm = dirs_[home]->mode() == DirectoryMode::kAllarm &&
                             ranges_.active(addr_of_line(line));
-        if (!allarm) fail("cached line untracked under baseline", line);
-        for (std::size_t i = begin; i < end; ++i) {
-          if (held[i].node != home) {
-            fail("remote cached line untracked under ALLARM", line);
+        if (allarm) {
+          for (std::size_t i = begin; i < end; ++i) {
+            if (held[i].node != home) {
+              fail("remote cached line untracked under ALLARM", line);
+            }
           }
+        } else if (dirs_[home]->mode() == DirectoryMode::kRegion) {
+          // Region entries cover exactly the owner's exclusive/modified
+          // copies; anything else must carry a per-block entry.
+          for (std::size_t i = begin; i < end; ++i) {
+            if (!dirs_[home]->region_covers(line, held[i].node)) {
+              fail("cached line not covered by a region entry", line);
+            }
+            if (held[i].state != LineState::kModified &&
+                held[i].state != LineState::kExclusive) {
+              fail("region-covered line held non-exclusive", line);
+            }
+          }
+        } else {
+          fail("cached line untracked under baseline", line);
         }
       }
     }
@@ -495,6 +510,32 @@ void System::check_invariants(bool strict) const {
       }
     });
   }
+
+  // Region mode: at quiescence every presence bit corresponds to exactly
+  // one cached line covered by its region entry.  The region table is a
+  // FlatMap (never iterated), so the check compares live counters: a
+  // stale-high bit (a grant whose death was lost) breaks the equality
+  // because covered cached lines always have their bit set.
+  {
+    std::uint64_t bits = 0;
+    for (const auto& d : dirs_) {
+      bits += d->region_directory().presence_bits();
+    }
+    std::uint64_t covered = 0;
+    for (const Holder& h : held) {
+      const NodeId home = os_.home_of(addr_of_line(h.line));
+      if (dirs_[home]->probe_filter().peek(h.line) == nullptr &&
+          dirs_[home]->region_covers(h.line, h.node)) {
+        ++covered;
+      }
+    }
+    if (bits != covered) {
+      throw std::logic_error(
+          "invariant violation: region presence bits (" +
+          std::to_string(bits) + ") disagree with covered cached lines (" +
+          std::to_string(covered) + ")");
+    }
+  }
 }
 
 StatSet System::collect_stats(Tick runtime) const {
@@ -515,7 +556,10 @@ StatSet System::collect_stats(Tick runtime) const {
 
   coherence::DirectoryStats dir{};
   coherence::ProbeFilterStats pf{};
+  region::RegionStats rg{};
   std::uint64_t pf_occupancy = 0;
+  std::uint64_t region_entries = 0, region_presence = 0;
+  std::uint64_t region_private = 0, region_shared = 0;
   for (const auto& d : dirs_) {
     const auto& ds = d->stats();
     dir.requests += ds.requests;
@@ -542,6 +586,21 @@ StatSet System::collect_stats(Tick runtime) const {
     pf.misses += ps.misses;
     pf.inserts += ps.inserts;
     pf_occupancy += d->probe_filter().occupancy();
+    const region::RegionDirectory& rd = d->region_directory();
+    const region::RegionStats& rds = rd.stats();
+    rg.reads += rds.reads;
+    rg.writes += rds.writes;
+    rg.hits += rds.hits;
+    rg.installs += rds.installs;
+    rg.collapses += rds.collapses;
+    rg.collapse_block_installs += rds.collapse_block_installs;
+    rg.collapse_spills += rds.collapse_spills;
+    rg.recollects += rds.recollects;
+    rg.puts += rds.puts;
+    region_entries += rd.entries();
+    region_presence += rd.presence_bits();
+    region_private += rd.private_regions();
+    region_shared += rd.shared_regions();
   }
   s.set("dir.requests", static_cast<double>(dir.requests));
   s.set("dir.local_requests", static_cast<double>(dir.local_requests));
@@ -572,6 +631,7 @@ StatSet System::collect_stats(Tick runtime) const {
                   dir.remote_miss_probes
             : 0.0);
   s.set("dir.victim_stalls", static_cast<double>(dir.victim_stalls));
+  s.set("dir.anomalies", static_cast<double>(dir.anomalies));
   s.set("pf.reads", static_cast<double>(pf.reads));
   s.set("pf.writes", static_cast<double>(pf.writes));
   s.set("pf.hits", static_cast<double>(pf.hits));
@@ -591,6 +651,24 @@ StatSet System::collect_stats(Tick runtime) const {
     s.set("pf.entries_owned", static_cast<double>(owned));
     s.set("pf.entries_shared", static_cast<double>(shared));
   }
+
+  // Region-granularity counters (src/region/): all zero outside region
+  // mode, exported unconditionally so every mode's report carries the same
+  // key set.
+  s.set("region.reads", static_cast<double>(rg.reads));
+  s.set("region.writes", static_cast<double>(rg.writes));
+  s.set("region.hits", static_cast<double>(rg.hits));
+  s.set("region.installs", static_cast<double>(rg.installs));
+  s.set("region.collapses", static_cast<double>(rg.collapses));
+  s.set("region.collapse_block_installs",
+        static_cast<double>(rg.collapse_block_installs));
+  s.set("region.collapse_spills", static_cast<double>(rg.collapse_spills));
+  s.set("region.recollects", static_cast<double>(rg.recollects));
+  s.set("region.puts", static_cast<double>(rg.puts));
+  s.set("region.entries", static_cast<double>(region_entries));
+  s.set("region.presence_bits", static_cast<double>(region_presence));
+  s.set("region.private_regions", static_cast<double>(region_private));
+  s.set("region.shared_regions", static_cast<double>(region_shared));
 
   coherence::CacheControllerStats cc{};
   for (const auto& c : caches_) {
@@ -650,6 +728,8 @@ StatSet System::collect_stats(Tick runtime) const {
   s.set("energy.noc_nj", energy_.noc_energy_nj(nw));
   s.set("energy.pf_nj",
         energy_.pf_energy_nj(pf.reads, pf.writes, dir.pf_evictions));
+  s.set("energy.region_nj",
+        energy_.region_energy_nj(rg.reads, rg.writes, rg.collapses));
   s.set("energy.dram_nj", energy_.dram_energy_nj(dram_reads + dram_writes));
 
   s.set("sanity.anomalies", static_cast<double>(dir.anomalies));

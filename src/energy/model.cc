@@ -19,6 +19,18 @@ constexpr double kDramBitPj = 10.0;        // pJ per bit, off-chip access.
 // for the 16-directory system.  area = c * (kB)^p.
 constexpr double kAreaCoeff = 0.2666;
 constexpr double kAreaExp = 0.895;
+
+// A region entry (owner + presence bitmap) is roughly twice the width of a
+// probe-filter entry (state + owner); the equivalent-SRAM scaling below
+// feeds the same CACTI-shaped cost curves.
+constexpr double kRegionEntryWidthFactor = 2.0;
+
+double region_equivalent_kb(std::uint32_t coverage_bytes,
+                            std::uint32_t region_size_bytes) {
+  const double entries = static_cast<double>(coverage_bytes) /
+                         static_cast<double>(region_size_bytes);
+  return entries * kRegionEntryWidthFactor * kLineBytes / 1024.0;
+}
 }  // namespace
 
 EnergyModel::EnergyModel(const SystemConfig& config) {
@@ -26,6 +38,10 @@ EnergyModel::EnergyModel(const SystemConfig& config) {
       static_cast<double>(config.probe_filter_coverage_bytes) / 1024.0;
   pf_read_pj_ = kPfReadBasePj + kPfReadSlopePj * std::sqrt(coverage_kb);
   pf_write_pj_ = pf_read_pj_ * kPfWriteFactor;
+  const double region_kb = region_equivalent_kb(
+      config.probe_filter_coverage_bytes, config.region_size_bytes);
+  region_read_pj_ = kPfReadBasePj + kPfReadSlopePj * std::sqrt(region_kb);
+  region_write_pj_ = region_read_pj_ * kPfWriteFactor;
   router_flit_pj_ = kRouterFlitPj;
   link_flit_pj_ = kLinkFlitPj;
   dram_access_pj_ = kDramBitPj * kLineBytes * 8;
@@ -52,9 +68,25 @@ double EnergyModel::dram_energy_nj(std::uint64_t accesses) const {
   return static_cast<double>(accesses) * dram_access_pj_ / 1000.0;
 }
 
+double EnergyModel::region_energy_nj(std::uint64_t reads, std::uint64_t writes,
+                                     std::uint64_t collapses) const {
+  const double pj = static_cast<double>(reads) * region_read_pj_ +
+                    static_cast<double>(writes) * region_write_pj_ +
+                    static_cast<double>(collapses) * region_collapse_pj();
+  return pj / 1000.0;
+}
+
 double EnergyModel::probe_filter_area_mm2(std::uint32_t coverage_bytes,
                                           std::uint32_t num_directories) {
   const double kb = static_cast<double>(coverage_bytes) / 1024.0;
+  const double total_16 = kAreaCoeff * std::pow(kb, kAreaExp);
+  return total_16 * static_cast<double>(num_directories) / 16.0;
+}
+
+double EnergyModel::region_directory_area_mm2(std::uint32_t coverage_bytes,
+                                              std::uint32_t region_size_bytes,
+                                              std::uint32_t num_directories) {
+  const double kb = region_equivalent_kb(coverage_bytes, region_size_bytes);
   const double total_16 = kAreaCoeff * std::pow(kb, kAreaExp);
   return total_16 * static_cast<double>(num_directories) / 16.0;
 }

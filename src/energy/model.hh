@@ -23,8 +23,9 @@ namespace allarm::energy {
 struct EnergyBreakdown {
   double noc_nj = 0.0;    ///< Routers + links.
   double pf_nj = 0.0;     ///< Probe filters (all directories).
+  double region_nj = 0.0; ///< Region tables (zero outside region mode).
   double dram_nj = 0.0;   ///< DRAM accesses.
-  double total_nj() const { return noc_nj + pf_nj + dram_nj; }
+  double total_nj() const { return noc_nj + pf_nj + region_nj + dram_nj; }
 };
 
 /// Dynamic energy / area model.
@@ -43,6 +44,16 @@ class EnergyModel {
   double noc_flit_hop_pj() const { return router_flit_pj_ + link_flit_pj_; }
   /// One DRAM line access.
   double dram_access_pj() const { return dram_access_pj_; }
+  /// One region-table tag+presence read.  The region table covering the
+  /// same cached bytes as the probe filter holds coverage/region_size
+  /// entries of roughly twice the width (owner + presence bitmap), so its
+  /// per-event cost is that of an equivalently sized SRAM array.
+  double region_read_pj() const { return region_read_pj_; }
+  /// One region-entry write (install / presence flip / removal).
+  double region_write_pj() const { return region_write_pj_; }
+  /// One collapse: victim readout plus the withdrawal write (the per-block
+  /// installs it triggers are billed as probe-filter writes).
+  double region_collapse_pj() const { return region_read_pj_ + region_write_pj_; }
 
   // --- Aggregation -----------------------------------------------------------
   /// Network energy from mesh statistics.
@@ -55,6 +66,10 @@ class EnergyModel {
   /// DRAM energy from access counts.
   double dram_energy_nj(std::uint64_t accesses) const;
 
+  /// Region-table energy from access counts (zero outside region mode).
+  double region_energy_nj(std::uint64_t reads, std::uint64_t writes,
+                          std::uint64_t collapses) const;
+
   // --- Area -------------------------------------------------------------------
   /// Total die area of all `num_directories` probe filters, each covering
   /// `coverage_bytes` of cached data.  Power-law fit to the paper's McPAT
@@ -62,9 +77,19 @@ class EnergyModel {
   static double probe_filter_area_mm2(std::uint32_t coverage_bytes,
                                       std::uint32_t num_directories);
 
+  /// Die area of `num_directories` region tables that track the same
+  /// cached bytes as a probe filter of `coverage_bytes`: the entry count
+  /// shrinks by lines-per-region while the entry roughly doubles in width,
+  /// so the equivalent SRAM is fed through the same power-law fit.
+  static double region_directory_area_mm2(std::uint32_t coverage_bytes,
+                                          std::uint32_t region_size_bytes,
+                                          std::uint32_t num_directories);
+
  private:
   double pf_read_pj_;
   double pf_write_pj_;
+  double region_read_pj_;
+  double region_write_pj_;
   double router_flit_pj_;
   double link_flit_pj_;
   double dram_access_pj_;

@@ -64,6 +64,7 @@ void fold_config(Fnv1a64& h, const SystemConfig& c) {
   h.update_u32(static_cast<std::uint32_t>(c.directory_mode));
   h.update_u32(c.allarm_parallel_local_probe ? 1 : 0);
   h.update_u32(c.eviction_gates_reply ? 1 : 0);
+  h.update_u32(c.region_size_bytes);
   h.update_u64(c.dram_total_bytes);
   h.update_u64(static_cast<std::uint64_t>(c.dram_latency));
   h.update_u64(static_cast<std::uint64_t>(c.dram_cycle));
