@@ -49,6 +49,20 @@
 //   --cores LIST         (trace grid) comma-separated replay core counts
 //                        (default: all 16; a thread's captured placement
 //                        node remaps to node mod cores)
+//   --cell-retries N     re-run a failed job up to N times with exponential
+//                        backoff before giving up (default 0: fail fast).
+//                        Retried jobs reproduce their bytes exactly
+//   --cell-backoff-ms N  backoff before the first retry (doubles per
+//                        attempt; default 100)
+//   --cell-timeout SEC   per-job wall-clock watchdog: a job running longer
+//                        aborts with a structured no-progress diagnostic
+//                        (then retries/quarantines like any failure)
+//   --quarantine         report permanently failing jobs as structured
+//                        "failed" cells and finish the sweep (exit 3)
+//                        instead of aborting at the first one (exit 1)
+//   --failpoints SPEC    deterministic fault injection, e.g.
+//                        'journal.fsync=err@3;fileio.pwrite=torn@7' (also
+//                        via ALLARM_FAILPOINTS; see docs/ROBUSTNESS.md)
 //   --list               list available grids and exit
 //
 // Reports are streamed cell by cell — a finished cell is serialized and
@@ -56,6 +70,9 @@
 // execution metadata: the same grid, seeds and accesses produce
 // byte-identical output at any --jobs setting, across kill/--resume
 // cycles, and across --shard/--merge splits.  See docs/SWEEPS.md.
+//
+// Exit codes: 0 success, 1 error, 2 usage, 3 degraded completion (the
+// sweep finished but quarantined at least one job; see docs/ROBUSTNESS.md).
 #include <sys/stat.h>
 
 #include <cerrno>
@@ -71,6 +88,7 @@
 #include <vector>
 
 #include "common/config.hh"
+#include "common/failpoint.hh"
 #include "common/fileio.hh"
 #include "core/experiment.hh"
 #include "runner/report.hh"
@@ -101,6 +119,11 @@ struct Options {
   std::string replay_dir;
   std::vector<std::string> traces;
   std::vector<std::uint32_t> cores;
+  std::uint32_t cell_retries = 0;
+  std::uint32_t cell_backoff_ms = 100;
+  double cell_timeout_s = 0.0;
+  bool quarantine = false;
+  std::string failpoints;
 };
 
 [[noreturn]] void usage(int code) {
@@ -110,7 +133,9 @@ struct Options {
       "             [--csv FILE] [--journal FILE [--resume]] [--shard K/N]\n"
       "             [--merge FILE]... [--window N] [--timing]\n"
       "             [--capture DIR] [--replay DIR]\n"
-      "             [--trace FILE]... [--cores LIST] [--list]\n";
+      "             [--trace FILE]... [--cores LIST] [--list]\n"
+      "             [--cell-retries N] [--cell-backoff-ms N]\n"
+      "             [--cell-timeout SEC] [--quarantine] [--failpoints SPEC]\n";
   std::exit(code);
 }
 
@@ -322,6 +347,22 @@ Options parse(int argc, char** argv) {
         if (comma == std::string::npos) break;
         pos = comma + 1;
       }
+    } else if (std::strcmp(arg, "--cell-retries") == 0) {
+      options.cell_retries =
+          static_cast<std::uint32_t>(std::strtoul(value(i), nullptr, 10));
+    } else if (std::strcmp(arg, "--cell-backoff-ms") == 0) {
+      options.cell_backoff_ms =
+          static_cast<std::uint32_t>(std::strtoul(value(i), nullptr, 10));
+    } else if (std::strcmp(arg, "--cell-timeout") == 0) {
+      options.cell_timeout_s = std::strtod(value(i), nullptr);
+      if (options.cell_timeout_s <= 0.0) {
+        std::cerr << "--cell-timeout wants a positive number of seconds\n";
+        usage(2);
+      }
+    } else if (std::strcmp(arg, "--quarantine") == 0) {
+      options.quarantine = true;
+    } else if (std::strcmp(arg, "--failpoints") == 0) {
+      options.failpoints = value(i);
     } else if (std::strcmp(arg, "--list") == 0) {
       list_grids();
       std::exit(0);
@@ -447,6 +488,14 @@ struct ReportSinks {
 
 int main(int argc, char** argv) try {
   const Options options = parse(argc, argv);
+  std::string failpoints = allarm::failpoint::configure_from_env();
+  if (!options.failpoints.empty()) {
+    allarm::failpoint::configure(options.failpoints);
+    failpoints = options.failpoints;
+  }
+  if (!failpoints.empty()) {
+    std::cerr << "failpoints active: " << failpoints << "\n";
+  }
   if (!options.capture_dir.empty()) ensure_directory(options.capture_dir);
   const runner::SweepSpec spec = make_grid(options);
 
@@ -460,8 +509,13 @@ int main(int argc, char** argv) try {
     sinks.finish(options);
     std::cerr << "merged " << stats.jobs_total << " jobs into "
               << stats.cells_emitted << " cells in " << stats.wall_seconds
-              << " s\n";
-    return 0;
+              << " s";
+    if (stats.jobs_failed > 0) {
+      std::cerr << " (DEGRADED: " << stats.jobs_failed << " failed jobs in "
+                << stats.cells_failed << " cells)";
+    }
+    std::cerr << "\n";
+    return stats.jobs_failed > 0 ? 3 : 0;
   }
 
   const runner::SweepRunner sweep_runner(options.jobs);
@@ -470,6 +524,11 @@ int main(int argc, char** argv) try {
   stream.resume = options.resume;
   stream.shard = options.shard;
   stream.max_outstanding = options.window;
+  stream.cell_retries = options.cell_retries;
+  stream.retry_backoff_ms = options.cell_backoff_ms;
+  stream.cell_timeout_ns =
+      static_cast<std::uint64_t>(options.cell_timeout_s * 1e9);
+  stream.quarantine = options.quarantine;
 
   // Banner counts the jobs THIS run owns (scripts parse it, e.g. the
   // resume smoke's kill threshold), not the full grid.
@@ -495,10 +554,19 @@ int main(int argc, char** argv) try {
   if (stats.jobs_resumed > 0) {
     std::cerr << ", " << stats.jobs_resumed << " resumed from journal";
   }
+  if (stats.jobs_retried > 0) {
+    std::cerr << ", " << stats.jobs_retried << " retries";
+  }
   std::cerr << ", " << stats.cells_emitted << " cells, peak "
             << stats.peak_resident_results << " resident results ("
-            << stats.tasks_stolen << " tasks stolen)\n";
-  return 0;
+            << stats.tasks_stolen << " tasks stolen)";
+  if (stats.jobs_failed > 0) {
+    std::cerr << "\nDEGRADED: " << stats.jobs_failed
+              << " jobs quarantined as failed across " << stats.cells_failed
+              << " cells; see the \"failed\" report sections";
+  }
+  std::cerr << "\n";
+  return stats.jobs_failed > 0 ? 3 : 0;
 } catch (const std::exception& e) {
   std::cerr << "sweep: " << e.what() << "\n";
   return 1;

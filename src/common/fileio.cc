@@ -5,21 +5,63 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
+#include <thread>
 #include <utility>
+
+#include "common/failpoint.hh"
 
 namespace allarm {
 
 namespace {
 
-[[noreturn]] void fail(const std::string& path, const char* what) {
+// Every error message carries the path, the failed operation with its
+// size/offset context, and strerror(errno) — a production log line must
+// identify the broken file and the kernel's reason without a debugger.
+
+[[noreturn]] void fail(const std::string& path, const std::string& what) {
   throw std::runtime_error(path + ": " + what + ": " + std::strerror(errno));
+}
+
+std::string io_context(const char* op, std::size_t size,
+                       std::uint64_t offset) {
+  return std::string(op) + " of " + std::to_string(size) +
+         " bytes at offset " + std::to_string(offset);
+}
+
+[[noreturn]] void injected(const std::string& path, const char* site,
+                           const std::string& what) {
+  throw std::runtime_error(path + ": " + what + ": injected fault (failpoint " +
+                           site + ")");
+}
+
+/// Applies one failpoint hit at an I/O site.  kError throws; kDelay sleeps
+/// and falls through; the caller interprets kShortIo/kTornWrite/
+/// kEintrStorm (returned unchanged).  Actions a site cannot express
+/// degrade to kError — a schedule never silently misses.
+failpoint::Hit apply_common(const failpoint::Hit& hit, const std::string& path,
+                            const char* site, const std::string& what) {
+  if (!hit) return hit;
+  switch (hit.action) {
+    case failpoint::Action::kError:
+      injected(path, site, what);
+    case failpoint::Action::kDelay:
+      std::this_thread::sleep_for(std::chrono::milliseconds(hit.arg));
+      return failpoint::Hit{};
+    default:
+      return hit;
+  }
 }
 
 }  // namespace
 
 File::File(const std::string& path, Mode mode) : path_(path) {
+  if (const auto hit = failpoint::check("fileio.open")) {
+    apply_common(hit, path_, "fileio.open", "open");
+    injected(path_, "fileio.open", "open");  // short/torn/eintr degrade.
+  }
   int flags = 0;
   switch (mode) {
     case Mode::kRead:
@@ -62,22 +104,53 @@ std::uint64_t File::size() const {
 }
 
 void File::read_at(std::uint64_t offset, void* data, std::size_t size) const {
-  if (read_at_most(offset, data, size) != size) {
-    throw std::runtime_error(path_ + ": short read at offset " +
-                             std::to_string(offset));
+  const std::size_t got = read_at_most(offset, data, size);
+  if (got != size) {
+    throw std::runtime_error(path_ + ": short read: wanted " +
+                             std::to_string(size) + " bytes at offset " +
+                             std::to_string(offset) + ", got " +
+                             std::to_string(got) +
+                             " (file truncated or corrupt)");
   }
 }
 
 std::size_t File::read_at_most(std::uint64_t offset, void* data,
                                std::size_t size) const {
+  std::size_t want = size;
+  std::uint64_t eintr_storm = 0;
+  // The inactive path must stay allocation-free (trace replay's streaming
+  // guarantee counts allocations across this very call): build the error
+  // context only once a failpoint actually fired.
+  auto hit = failpoint::check("fileio.pread");
+  if (hit) {
+    hit = apply_common(hit, path_, "fileio.pread",
+                       io_context("pread", size, offset));
+  }
+  if (hit.action == failpoint::Action::kShortIo ||
+      hit.action == failpoint::Action::kTornWrite) {
+    // Deliver fewer bytes than asked (a truncated file, a torn tail):
+    // read_at() surfaces it as its short-read error, read_at_most callers
+    // see a genuine short count.
+    want = hit.arg != 0 && hit.arg < size ? static_cast<std::size_t>(hit.arg)
+                                          : size / 2;
+  } else if (hit.action == failpoint::Action::kEintrStorm) {
+    eintr_storm = hit.arg;
+  }
+
   auto* out = static_cast<char*>(data);
   std::size_t total = 0;
-  while (total < size) {
-    const ssize_t n = ::pread(fd_, out + total, size - total,
+  while (total < want) {
+    if (eintr_storm > 0) {
+      // Simulated interrupted syscall: exercises this very retry loop.
+      --eintr_storm;
+      errno = EINTR;
+      continue;
+    }
+    const ssize_t n = ::pread(fd_, out + total, want - total,
                               static_cast<off_t>(offset + total));
     if (n < 0) {
       if (errno == EINTR) continue;
-      fail(path_, "pread");
+      fail(path_, io_context("pread", size, offset));
     }
     if (n == 0) break;  // EOF.
     total += static_cast<std::size_t>(n);
@@ -86,24 +159,65 @@ std::size_t File::read_at_most(std::uint64_t offset, void* data,
 }
 
 void File::write_at(std::uint64_t offset, const void* data, std::size_t size) {
+  std::size_t want = size;
+  bool fail_after_prefix = false;
+  const char* site_label = "fileio.pwrite";
+  std::uint64_t eintr_storm = 0;
+  auto hit = failpoint::check("fileio.pwrite");
+  if (hit) {
+    hit = apply_common(hit, path_, "fileio.pwrite",
+                       io_context("pwrite", size, offset));
+  }
+  if (hit.action == failpoint::Action::kShortIo ||
+      hit.action == failpoint::Action::kTornWrite) {
+    // Both write a real prefix then fail — the on-disk state a crashed or
+    // ENOSPC'd writer leaves behind.  (short = ran out of space mid-write,
+    // torn = power cut; identical from the reader's point of view.)
+    want = hit.arg != 0 && hit.arg < size ? static_cast<std::size_t>(hit.arg)
+                                          : size / 2;
+    fail_after_prefix = true;
+  } else if (hit.action == failpoint::Action::kEintrStorm) {
+    eintr_storm = hit.arg;
+  }
+
   const auto* in = static_cast<const char*>(data);
   std::size_t total = 0;
-  while (total < size) {
-    const ssize_t n = ::pwrite(fd_, in + total, size - total,
+  while (total < want) {
+    if (eintr_storm > 0) {
+      --eintr_storm;
+      errno = EINTR;
+      continue;
+    }
+    const ssize_t n = ::pwrite(fd_, in + total, want - total,
                                static_cast<off_t>(offset + total));
     if (n < 0) {
       if (errno == EINTR) continue;
-      fail(path_, "pwrite");
+      fail(path_, io_context("pwrite", size, offset));
     }
     total += static_cast<std::size_t>(n);
+  }
+  if (fail_after_prefix) {
+    injected(path_, site_label,
+             io_context("pwrite", size, offset) + ": wrote only " +
+                 std::to_string(total) + " bytes");
   }
 }
 
 void File::truncate(std::uint64_t size) {
-  if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) fail(path_, "ftruncate");
+  if (const auto hit = failpoint::check("fileio.ftruncate")) {
+    apply_common(hit, path_, "fileio.ftruncate", "ftruncate");
+    injected(path_, "fileio.ftruncate", "ftruncate");
+  }
+  if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
+    fail(path_, "ftruncate to " + std::to_string(size) + " bytes");
+  }
 }
 
 void File::sync() {
+  if (const auto hit = failpoint::check("fileio.fsync")) {
+    apply_common(hit, path_, "fileio.fsync", "fsync");
+    injected(path_, "fileio.fsync", "fsync");
+  }
   if (::fsync(fd_) != 0) fail(path_, "fsync");
 }
 

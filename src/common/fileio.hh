@@ -4,7 +4,14 @@
 // fsync for durability batches, ftruncate to discard a torn tail, and
 // pread/pwrite so one handle can append records while re-reading earlier
 // payloads during a resume.  Every failure throws std::runtime_error with
-// the path and errno text — callers never see silent short writes.
+// the path, the operation's size/offset context and strerror(errno) —
+// callers never see silent short writes.
+//
+// Every operation polls a failpoint (fileio.open / fileio.pread /
+// fileio.pwrite / fileio.fsync / fileio.ftruncate; see common/failpoint.hh
+// and docs/ROBUSTNESS.md) so crash-recovery paths above this layer are
+// exercisable deterministically.  Inactive failpoints cost one predicted
+// branch per call.
 #pragma once
 
 #include <cstddef>

@@ -31,7 +31,7 @@ PairResult run_pair(const SystemConfig& config,
   return result;
 }
 
-RunResult run_request(const RunRequest& request) {
+RunResult run_request(const RunRequest& request, std::uint64_t deadline_ns) {
   const auto t0 = std::chrono::steady_clock::now();
 
   SystemConfig config = request.config;
@@ -76,6 +76,7 @@ RunResult run_request(const RunRequest& request) {
   std::optional<trace::TraceWriter> writer;
   RunOptions options;
   options.seed = request.seed;
+  options.deadline_ns = deadline_ns;
   if (!request.capture_trace.empty()) {
     writer.emplace(request.capture_trace);
     options.capture = &*writer;

@@ -61,8 +61,13 @@ struct RunRequest {
 };
 
 /// Runs `request` on a fresh System.  Thread-safe: concurrent calls never
-/// share simulator state.
-RunResult run_request(const RunRequest& request);
+/// share simulator state.  `deadline_ns` (0 = none) arms the simulator's
+/// no-progress watchdog (RunOptions::deadline_ns): a run exceeding the
+/// wall-clock budget throws std::runtime_error with a structured
+/// diagnostic instead of hanging its caller.  A parameter rather than a
+/// RunRequest field so the sweep runner's retry loop re-submits the same
+/// request object untouched.
+RunResult run_request(const RunRequest& request, std::uint64_t deadline_ns = 0);
 
 /// Number of accesses per thread used by the figure benches.  Reads the
 /// ALLARM_BENCH_ACCESSES environment variable; defaults to `fallback`.

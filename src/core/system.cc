@@ -50,6 +50,11 @@ struct System::ThreadRuntime {
   bool use_ring = true;
   Tick crossed_warmup_at = 0;  ///< When this thread entered its ROI.
   Tick finished_at = 0;
+  /// Sim time of this thread's most recent issue, maintained only while
+  /// the no-progress watchdog is armed (feeds the oldest-in-flight-access
+  /// line of its diagnostic; the ring path's last_issue_at below is not
+  /// equivalent — serial-issue threads never update it).
+  Tick watchdog_issue_at = 0;
   System* system = nullptr;  ///< Back-pointer for the completion callback.
   std::uint32_t capture_slot = 0;  ///< Trace-writer slot while capturing.
 
@@ -122,6 +127,13 @@ void System::begin_roi() {
 }
 
 void System::issue_next(ThreadRuntime& thread) {
+  if (watchdog_on_) {
+    thread.watchdog_issue_at = events_.now();
+    if (--watchdog_countdown_ == 0) {
+      watchdog_countdown_ = kWatchdogStride;
+      check_watchdog();
+    }
+  }
   if (thread.in_warmup && thread.remaining <= thread.spec.accesses) {
     // This thread has crossed from warm-up into its region of interest.
     thread.in_warmup = false;
@@ -268,6 +280,44 @@ void System::migration_tick() {
   events_.schedule_in(migration_interval_, [this] { migration_tick(); });
 }
 
+void System::check_watchdog() {
+  const auto elapsed = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           std::chrono::steady_clock::now() - watchdog_start_)
+                           .count();
+  if (static_cast<std::uint64_t>(elapsed) <= watchdog_deadline_ns_) {
+    watchdog_last_accesses_ = accesses_done_;
+    return;
+  }
+  // Structured no-progress diagnostic: enough state to tell a genuinely
+  // oversized run (accesses still advancing) from a livelocked one
+  // (delta 0, one ancient in-flight access) without attaching a debugger.
+  std::uint32_t running = 0;
+  Tick oldest_issue = kTickNever;
+  for (const auto& t : threads_) {
+    if (t->remaining == 0) continue;
+    ++running;
+    oldest_issue = std::min(oldest_issue, t->watchdog_issue_at);
+  }
+  const Tick now = events_.now();
+  std::string diag =
+      "no-progress watchdog: wall-clock deadline of " +
+      std::to_string(watchdog_deadline_ns_ / 1000000) + " ms exceeded (" +
+      std::to_string(static_cast<std::uint64_t>(elapsed) / 1000000) +
+      " ms elapsed): sim time " + std::to_string(ns_from_ticks(now)) +
+      " ns, " + std::to_string(running) + " of " +
+      std::to_string(threads_.size()) + " threads still running (" +
+      std::to_string(threads_in_warmup_) + " in warmup), " +
+      std::to_string(accesses_done_) + " accesses issued (+" +
+      std::to_string(accesses_done_ - watchdog_last_accesses_) +
+      " since last check)";
+  if (running > 0 && oldest_issue != kTickNever) {
+    diag += ", oldest in-flight access issued at sim time " +
+            std::to_string(ns_from_ticks(oldest_issue)) + " ns (age " +
+            std::to_string(ns_from_ticks(now - oldest_issue)) + " ns)";
+  }
+  throw std::runtime_error(diag);
+}
+
 RunResult System::run(const workload::WorkloadSpec& spec,
                       const RunOptions& options) {
   if (ran_) throw std::logic_error("System: run() may be called once");
@@ -275,6 +325,11 @@ RunResult System::run(const workload::WorkloadSpec& spec,
   invariant_period_ = options.invariant_check_period;
   migration_rng_ = Rng(options.seed ^ 0xabcdef);
   capture_ = options.capture;
+  if (options.deadline_ns != 0) {
+    watchdog_on_ = true;
+    watchdog_deadline_ns_ = options.deadline_ns;
+    watchdog_start_ = std::chrono::steady_clock::now();
+  }
 
   // Capture observes the setup phase's first-touch placements: replaying
   // those touches, in order, reproduces the page homes (and the

@@ -7,6 +7,7 @@
 // and reproducible.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -39,6 +40,14 @@ struct RunOptions {
   Tick migration_interval = 0;
   /// Invariant-checking period in executed accesses (0 = only at the end).
   std::uint64_t invariant_check_period = 0;
+  /// Wall-clock budget for the whole run, in host nanoseconds (0 = none).
+  /// A run exceeding it throws std::runtime_error with a structured
+  /// no-progress diagnostic (sim time, access counts, per-thread state)
+  /// instead of hanging its caller.  Enforced cooperatively from the issue
+  /// path (one countdown decrement per access when armed, a steady_clock
+  /// read every 64th); never schedules events, so `sim.events` and all
+  /// results are byte-identical with or without a (met) deadline.
+  std::uint64_t deadline_ns = 0;
   /// When set, the run's full context is captured into this trace writer:
   /// the workload's thread metadata, the setup phase's first-touch page
   /// placements, and every executed access with the rng-draw count its
@@ -118,6 +127,10 @@ class System {
   void schedule_migrations(const RunOptions& options);
   /// One periodic migration step; reschedules itself while threads run.
   void migration_tick();
+  /// Slow path of the RunOptions::deadline_ns watchdog: reads the host
+  /// clock and, past the deadline, throws the structured no-progress
+  /// diagnostic.  Called every 64th issued access while armed.
+  void check_watchdog();
   StatSet collect_stats(Tick runtime) const;
 
   SystemConfig config_;
@@ -144,6 +157,16 @@ class System {
   std::uint64_t invariant_period_ = 0;
   Rng migration_rng_{0};
   bool ran_ = false;
+
+  // --- No-progress watchdog (RunOptions::deadline_ns) ---------------------
+  /// Issued accesses between steady_clock reads while the watchdog is
+  /// armed; unarmed runs pay one predicted branch per access.
+  static constexpr std::uint32_t kWatchdogStride = 64;
+  bool watchdog_on_ = false;
+  std::uint32_t watchdog_countdown_ = kWatchdogStride;
+  std::uint64_t watchdog_deadline_ns_ = 0;
+  std::chrono::steady_clock::time_point watchdog_start_{};
+  std::uint64_t watchdog_last_accesses_ = 0;  ///< For the progress delta.
 
   void begin_roi();
 };

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "common/checksum.hh"
+#include "common/failpoint.hh"
 
 namespace allarm::runner {
 
@@ -29,13 +30,18 @@ struct RawHeader {
 static_assert(sizeof(RawHeader) == Journal::kHeaderSize,
               "journal header layout drifted");
 
+/// RawRecord flags bits.  Pre-quarantine journals wrote this field as a
+/// reserved zero, so "no flags" and "result record" coincide and the
+/// format needs no version bump.
+constexpr std::uint32_t kFlagFailed = 1u << 0;
+
 struct RawRecord {
   std::uint64_t job_index = 0;
   std::uint64_t seed = 0;
   std::uint64_t payload_offset = 0;
   std::uint32_t payload_size = 0;
   std::uint32_t payload_crc = 0;
-  std::uint32_t reserved = 0;
+  std::uint32_t flags = 0;       ///< kFlag* bits; zero = plain result.
   std::uint32_t record_crc = 0;  ///< CRC32C of the preceding 36 bytes.
 };
 static_assert(sizeof(RawRecord) == Journal::kRecordSize,
@@ -118,6 +124,7 @@ JournalIndex scan(const File& journal, const File& data) {
     entry.payload_offset = record.payload_offset;
     entry.payload_size = record.payload_size;
     entry.payload_crc = record.payload_crc;
+    entry.failed = (record.flags & kFlagFailed) != 0;
 
     // Eager payload verification: one sequential pass over the sidecar at
     // open, so resume knows its exact re-run set up front and merge can
@@ -234,6 +241,31 @@ core::RunResult deserialize_run_result(const void* data, std::size_t size) {
   return result;
 }
 
+std::string serialize_failure(const FailureRecord& failure) {
+  std::string out;
+  const auto put_u32 = [&out](std::uint32_t v) {
+    out.append(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  put_u32(failure.attempts);
+  put_u32(static_cast<std::uint32_t>(failure.error.size()));
+  out.append(failure.error);
+  return out;
+}
+
+FailureRecord deserialize_failure(const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const char*>(data);
+  if (size < 8) throw std::runtime_error("journal failure payload truncated");
+  FailureRecord failure;
+  std::uint32_t len = 0;
+  std::memcpy(&failure.attempts, bytes, 4);
+  std::memcpy(&len, bytes + 4, 4);
+  if (size != 8 + static_cast<std::size_t>(len)) {
+    throw std::runtime_error("journal failure payload has a bad length");
+  }
+  failure.error.assign(bytes + 8, len);
+  return failure;
+}
+
 // ----------------------------------------------------------------- Journal ----
 
 Journal Journal::create(const std::string& path, const JournalMeta& meta) {
@@ -297,12 +329,16 @@ JournalIndex Journal::load_index(const std::string& path) {
   return open_read(path).index_;
 }
 
-void Journal::append(std::uint64_t job_index, std::uint64_t seed,
-                     const core::RunResult& result) {
+void Journal::append_record(std::uint64_t job_index, std::uint64_t seed,
+                            const std::string& payload, std::uint32_t flags) {
   if (!writable_) {
     throw std::logic_error("journal " + journal_.path() + " is read-only");
   }
-  const std::string payload = serialize_run_result(result);
+  if (failpoint::check("journal.append")) {
+    throw std::runtime_error("journal " + journal_.path() +
+                             ": append of job " + std::to_string(job_index) +
+                             ": injected fault (failpoint journal.append)");
+  }
 
   RawRecord record;
   record.job_index = job_index;
@@ -310,6 +346,7 @@ void Journal::append(std::uint64_t job_index, std::uint64_t seed,
   record.payload_offset = data_end_;
   record.payload_size = static_cast<std::uint32_t>(payload.size());
   record.payload_crc = crc32c(payload);
+  record.flags = flags;
   record.record_crc = record_crc(record);
 
   // Payload first, record second: a record that exists always points at
@@ -327,6 +364,7 @@ void Journal::append(std::uint64_t job_index, std::uint64_t seed,
   entry.payload_size = record.payload_size;
   entry.payload_crc = record.payload_crc;
   entry.payload_ok = true;
+  entry.failed = (flags & kFlagFailed) != 0;
   index_.entries.push_back(entry);
   index_.valid_journal_bytes = journal_end_;
   index_.valid_data_bytes = data_end_;
@@ -334,7 +372,22 @@ void Journal::append(std::uint64_t job_index, std::uint64_t seed,
   if (++unsynced_appends_ >= kSyncBatch) sync();
 }
 
-core::RunResult Journal::read_payload(const JournalEntry& entry) const {
+void Journal::append(std::uint64_t job_index, std::uint64_t seed,
+                     const core::RunResult& result) {
+  append_record(job_index, seed, serialize_run_result(result), 0);
+}
+
+void Journal::append_failed(std::uint64_t job_index, std::uint64_t seed,
+                            const FailureRecord& failure) {
+  append_record(job_index, seed, serialize_failure(failure), kFlagFailed);
+}
+
+std::string Journal::verified_payload(const JournalEntry& entry) const {
+  if (failpoint::check("journal.read_payload")) {
+    bad_journal(journal_.path(),
+                "payload read for job " + std::to_string(entry.job_index) +
+                    ": injected fault (failpoint journal.read_payload)");
+  }
   std::string payload(entry.payload_size, '\0');
   data_.read_at(entry.payload_offset, payload.data(), payload.size());
   if (crc32c(payload) != entry.payload_crc) {
@@ -342,11 +395,36 @@ core::RunResult Journal::read_payload(const JournalEntry& entry) const {
                 "payload checksum mismatch for job " +
                     std::to_string(entry.job_index));
   }
+  return payload;
+}
+
+core::RunResult Journal::read_payload(const JournalEntry& entry) const {
+  if (entry.failed) {
+    throw std::logic_error("journal " + journal_.path() + ": job " +
+                           std::to_string(entry.job_index) +
+                           " is a quarantine record (use read_failure)");
+  }
+  const std::string payload = verified_payload(entry);
   return deserialize_run_result(payload.data(), payload.size());
+}
+
+FailureRecord Journal::read_failure(const JournalEntry& entry) const {
+  if (!entry.failed) {
+    throw std::logic_error("journal " + journal_.path() + ": job " +
+                           std::to_string(entry.job_index) +
+                           " is a result record (use read_payload)");
+  }
+  const std::string payload = verified_payload(entry);
+  return deserialize_failure(payload.data(), payload.size());
 }
 
 void Journal::sync() {
   if (!writable_ || unsynced_appends_ == 0) return;
+  if (failpoint::check("journal.fsync")) {
+    throw std::runtime_error("journal " + journal_.path() +
+                             ": sync: injected fault (failpoint "
+                             "journal.fsync)");
+  }
   data_.sync();     // Payloads reach the disk before the records that
   journal_.sync();  // reference them.
   unsynced_appends_ = 0;

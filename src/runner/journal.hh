@@ -8,7 +8,12 @@
 //                 hash, full-grid job count, base seed and shard, so a
 //                 journal can never silently resume the wrong sweep.
 //   <path>.data   concatenated payload blobs: one serialized RunResult
-//                 per record, addressed by (offset, size) from the record.
+//                 (or, for quarantined jobs, FailureRecord) per record,
+//                 addressed by (offset, size) from the record.
+//
+// A record's flags field distinguishes results from quarantined failures
+// (bit 0); journals written before quarantine existed carry zero flags, so
+// old journals read unchanged.
 //
 // Records are fixed-size so recovery is arithmetic: a torn tail is
 // `size % 40` stray bytes plus any trailing records whose CRC fails —
@@ -47,6 +52,18 @@ struct JournalEntry {
   std::uint32_t payload_size = 0;
   std::uint32_t payload_crc = 0;
   bool payload_ok = false;  ///< Payload CRC verified at load time.
+  /// Quarantine record: the payload is a serialized FailureRecord, not a
+  /// RunResult.  Resume treats failed jobs as not-done (they re-run; a
+  /// later success supersedes via last-record-wins); merge folds an
+  /// unsuperseded failure into the report's `failed` section.
+  bool failed = false;
+};
+
+/// What a quarantined job's journal payload carries: how it failed, so a
+/// degraded report can say which cells are missing and why.
+struct FailureRecord {
+  std::uint32_t attempts = 0;  ///< Execution attempts, including retries.
+  std::string error;           ///< what() of the last attempt's exception.
 };
 
 /// Result of scanning a journal file pair.
@@ -69,6 +86,14 @@ std::string serialize_run_result(const core::RunResult& result);
 /// Inverse of serialize_run_result; throws std::runtime_error on malformed
 /// input (truncated or trailing bytes).
 core::RunResult deserialize_run_result(const void* data, std::size_t size);
+
+/// Canonical binary serialization of one FailureRecord (the payload of a
+/// quarantine record — see JournalEntry::failed).
+std::string serialize_failure(const FailureRecord& failure);
+
+/// Inverse of serialize_failure; throws std::runtime_error on malformed
+/// input.
+FailureRecord deserialize_failure(const void* data, std::size_t size);
 
 /// A journal open for reading and/or appending.
 class Journal {
@@ -106,9 +131,21 @@ class Journal {
   void append(std::uint64_t job_index, std::uint64_t seed,
               const core::RunResult& result);
 
+  /// Appends one quarantined (permanently failed) job.  Same durability as
+  /// append(); the record carries the failed flag and a FailureRecord
+  /// payload.  A later append() for the same job supersedes it
+  /// (last-record-wins), which is exactly what a successful resume does.
+  void append_failed(std::uint64_t job_index, std::uint64_t seed,
+                     const FailureRecord& failure);
+
   /// Reads and verifies one payload; throws std::runtime_error when the
-  /// stored bytes fail their CRC or do not deserialize.
+  /// stored bytes fail their CRC or do not deserialize, std::logic_error
+  /// when `entry` is a quarantine record (use read_failure).
   core::RunResult read_payload(const JournalEntry& entry) const;
+
+  /// Reads and verifies one quarantine payload; throws std::logic_error
+  /// when `entry` is a result record.
+  FailureRecord read_failure(const JournalEntry& entry) const;
 
   /// Forces all appended records to stable storage (payloads first).
   void sync();
@@ -121,6 +158,12 @@ class Journal {
 
  private:
   Journal() = default;
+
+  /// Shared append path: writes `payload` to the data file, then the
+  /// record (with `flags`) to the journal.
+  void append_record(std::uint64_t job_index, std::uint64_t seed,
+                     const std::string& payload, std::uint32_t flags);
+  std::string verified_payload(const JournalEntry& entry) const;
 
   File journal_;
   File data_;

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "common/failpoint.hh"
 #include "common/fileio.hh"
 
 namespace allarm::runner {
@@ -26,6 +27,16 @@ void append_summary_csv(std::ostream& out, const Summary& s) {
 [[noreturn]] void io_failure(const std::string& label) {
   throw std::runtime_error("failed writing " + label +
                            " (stream went bad; disk full or closed?)");
+}
+
+/// Per-cell failpoint shared by both writers: exercises the callers'
+/// mid-report error paths (a half-written report followed by a nonzero
+/// exit, never a silently truncated "success").
+void check_sink_failpoint(const std::string& label) {
+  if (failpoint::check("sink.write")) {
+    throw std::runtime_error("failed writing " + label +
+                             ": injected fault (failpoint sink.write)");
+  }
 }
 
 /// Streams one sweep result through `sink` (begin / cells / end).  The
@@ -66,6 +77,7 @@ void JsonStreamSink::begin(const SweepMeta& meta) {
 }
 
 void JsonStreamSink::cell(CellResult&& cell) {
+  check_sink_failpoint(label_);
   if (any_cell_) out_ << ",\n";
   any_cell_ = true;
   out_ << "    {\n";
@@ -95,7 +107,22 @@ void JsonStreamSink::cell(CellResult&& cell) {
     append_summary_json(out_, summary);
   }
   if (!cell.stats.empty()) out_ << "\n      ";
-  out_ << "}\n";
+  out_ << "}";
+  // Quarantined replicates.  Emitted only when present so a healthy
+  // sweep's report stays byte-identical to one written before quarantine
+  // existed.
+  if (!cell.failures.empty()) {
+    out_ << ",\n      \"failed\": [";
+    for (std::size_t f = 0; f < cell.failures.size(); ++f) {
+      const CellFailure& failure = cell.failures[f];
+      if (f > 0) out_ << ",";
+      out_ << "\n        {\"replicate\":" << failure.replicate
+           << ",\"attempts\":" << failure.attempts
+           << ",\"error\":" << json_quote(failure.error) << "}";
+    }
+    out_ << "\n      ]";
+  }
+  out_ << "\n";
   out_ << "    }";
   check();
 }
@@ -124,12 +151,26 @@ void CsvStreamSink::begin(const SweepMeta& meta) {
 }
 
 void CsvStreamSink::cell(CellResult&& cell) {
+  check_sink_failpoint(label_);
   const std::string prefix = sweep_name_ + "," + cell.workload + "," +
                              cell.config_label + "," + to_string(cell.mode) +
                              ",";
   out_ << prefix << "runtime,";
   append_summary_csv(out_, cell.runtime);
   out_ << "\n";
+  // Quarantined replicates, column-stable: a `failed` metric row
+  // summarizing the attempt counts (count = failed replicates).  Error
+  // strings do not fit CSV columns — the JSON report carries them.
+  // Omitted entirely for healthy cells so their bytes never change.
+  if (!cell.failures.empty()) {
+    Summary attempts;
+    for (const CellFailure& failure : cell.failures) {
+      attempts.add(static_cast<double>(failure.attempts));
+    }
+    out_ << prefix << "failed,";
+    append_summary_csv(out_, attempts);
+    out_ << "\n";
+  }
   for (const auto& [name, summary] : cell.stats) {
     out_ << prefix << name << ',';
     append_summary_csv(out_, summary);

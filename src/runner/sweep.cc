@@ -8,12 +8,14 @@
 #include <mutex>
 #include <optional>
 #include <stdexcept>
+#include <thread>
 #include <unordered_map>
 #include <utility>
 
 #include <sys/stat.h>
 
 #include "common/checksum.hh"
+#include "common/failpoint.hh"
 #include "runner/journal.hh"
 #include "runner/sink.hh"
 #include "runner/thread_pool.hh"
@@ -79,6 +81,15 @@ void fold_config(Fnv1a64& h, const SystemConfig& c) {
   h.update_u64(static_cast<std::uint64_t>(c.local_hop_latency));
 }
 
+/// What one job contributed: a result, or (quarantine path) a structured
+/// failure that the cell reports instead of a replicate's samples.
+struct JobOutcome {
+  core::RunResult result;
+  bool failed = false;
+  std::uint32_t attempts = 1;
+  std::string error;
+};
+
 /// The grid-order streaming fold shared by live runs and journal merges:
 /// pulls job results through `result_of`, assembles each cell, hands it to
 /// `sink`, drops it.  `job_indices` must be a grid-ordered subset of whole
@@ -89,8 +100,10 @@ class CellFolder {
              ResultSink& sink)
       : spec_(spec), jobs_(jobs), sink_(sink) {}
 
-  /// Folds one result; must be called in grid order.
-  void fold(std::uint64_t job_index, core::RunResult&& result) {
+  /// Folds one outcome; must be called in grid order.  A failed outcome
+  /// contributes a CellFailure instead of runtime/stat samples (the seed is
+  /// still recorded — it is what the replicate would have run with).
+  void fold(std::uint64_t job_index, JobOutcome&& outcome) {
     const Job& job = jobs_[job_index];
     if (fill_ == 0) {
       cell_ = CellResult{};
@@ -99,15 +112,25 @@ class CellFolder {
       cell_.mode = spec_.modes[job.coord.mode];
     }
     cell_.seeds.push_back(job.request.seed);
-    cell_.runtime.add(static_cast<double>(result.runtime));
-    if (result.wall_ns != 0) {
-      cell_.wall_ns.add(static_cast<double>(result.wall_ns));
+    if (outcome.failed) {
+      CellFailure failure;
+      failure.replicate = job.coord.replicate;
+      failure.attempts = outcome.attempts;
+      failure.error = std::move(outcome.error);
+      cell_.failures.push_back(std::move(failure));
+    } else {
+      core::RunResult result = std::move(outcome.result);
+      cell_.runtime.add(static_cast<double>(result.runtime));
+      if (result.wall_ns != 0) {
+        cell_.wall_ns.add(static_cast<double>(result.wall_ns));
+      }
+      for (const auto& [stat, value] : result.stats.values()) {
+        cell_.stats[stat].add(value);
+      }
+      cell_.runs.push_back(std::move(result));
     }
-    for (const auto& [stat, value] : result.stats.values()) {
-      cell_.stats[stat].add(value);
-    }
-    cell_.runs.push_back(std::move(result));
     if (++fill_ == spec_.replicates) {
+      if (!cell_.failures.empty()) ++cells_failed_;
       sink_.cell(std::move(cell_));
       cell_ = CellResult{};
       fill_ = 0;
@@ -117,6 +140,7 @@ class CellFolder {
 
   std::uint32_t partial_fill() const { return fill_; }
   std::uint64_t cells_emitted() const { return cells_emitted_; }
+  std::uint64_t cells_failed() const { return cells_failed_; }
 
  private:
   const SweepSpec& spec_;
@@ -125,6 +149,7 @@ class CellFolder {
   CellResult cell_;
   std::uint32_t fill_ = 0;
   std::uint64_t cells_emitted_ = 0;
+  std::uint64_t cells_failed_ = 0;
 };
 
 /// Global job indices owned by `shard`, in grid order (whole cells).
@@ -347,7 +372,14 @@ StreamStats SweepRunner::run_streaming(const SweepSpec& spec, ResultSink& sink,
                                    std::to_string(entry.job_index) +
                                    " outside this shard");
         }
-        if (entry.payload_ok) resumed[entry.job_index] = entry;  // Last wins.
+        if (!entry.payload_ok) continue;
+        if (entry.failed) {
+          // A quarantined job is not done — the resume re-runs it (and a
+          // success it journals supersedes the failure, last-record-wins).
+          resumed.erase(entry.job_index);
+        } else {
+          resumed[entry.job_index] = entry;  // Last wins.
+        }
       }
     } else {
       journal.emplace(Journal::create(options.journal_path, meta));
@@ -363,7 +395,10 @@ StreamStats SweepRunner::run_streaming(const SweepSpec& spec, ResultSink& sink,
   struct Completion {
     std::uint64_t job_index = 0;
     core::RunResult result;
-    std::exception_ptr error;
+    std::uint32_t attempts = 1;  ///< Execution attempts, including retries.
+    bool failed = false;         ///< Every attempt threw.
+    std::string error_text;      ///< what() of the last attempt's exception.
+    std::exception_ptr error;    ///< Same exception, for the rethrow path.
   };
   std::mutex mutex;
   std::condition_variable done_cv;
@@ -379,7 +414,7 @@ StreamStats SweepRunner::run_streaming(const SweepSpec& spec, ResultSink& sink,
   CellFolder folder(spec, jobs, sink);
 
   // In-flight bookkeeping, all owned by this (the folding) thread.
-  std::map<std::uint64_t, core::RunResult> resident;  // Done, not yet folded.
+  std::map<std::uint64_t, JobOutcome> resident;  // Done, not yet folded.
   std::size_t next = 0;          // Next owned[] position to issue.
   std::size_t fold_pos = 0;      // Next owned[] position to fold.
   std::size_t outstanding = 0;   // Issued but not yet folded.
@@ -398,18 +433,69 @@ StreamStats SweepRunner::run_streaming(const SweepSpec& spec, ResultSink& sink,
       ++outstanding;
       const auto it = resumed.find(job_index);
       if (it != resumed.end()) {
-        resident.emplace(job_index, journal->read_payload(it->second));
+        JobOutcome outcome;
+        outcome.result = journal->read_payload(it->second);
+        resident.emplace(job_index, std::move(outcome));
         ++stats.jobs_resumed;
         note_peak();
       } else {
         const Job& job = jobs[job_index];
-        pool.submit([&job, job_index, &mutex, &done_cv, &completed] {
+        // Self-healing execution: a job that throws is retried with
+        // bounded exponential backoff.  Retries are safe to the byte —
+        // jobs are pure functions of their RunRequest, so a retried job
+        // reproduces exactly what the failed attempt would have produced.
+        // Two failpoints make faults schedulable under any worker count:
+        // `cell.attempt` counts attempts process-wide (transient faults
+        // that heal on retry); `cell.job` matches the grid-order job index
+        // (permanent faults pinned to a cell regardless of scheduling).
+        const std::uint32_t max_attempts = options.cell_retries + 1;
+        const std::uint32_t backoff_ms = options.retry_backoff_ms;
+        const std::uint64_t deadline_ns = options.cell_timeout_ns;
+        pool.submit([&job, job_index, max_attempts, backoff_ms, deadline_ns,
+                     &mutex, &done_cv, &completed] {
           Completion done;
           done.job_index = job_index;
-          try {
-            done.result = core::run_request(job.request);
-          } catch (...) {
-            done.error = std::current_exception();
+          for (std::uint32_t attempt = 1;; ++attempt) {
+            done.attempts = attempt;
+            try {
+              if (attempt > 1 && backoff_ms > 0) {
+                std::this_thread::sleep_for(std::chrono::milliseconds(
+                    static_cast<std::uint64_t>(backoff_ms) << (attempt - 2)));
+              }
+              if (const auto hit =
+                      failpoint::check_indexed("cell.job", job_index)) {
+                if (hit.action == failpoint::Action::kDelay) {
+                  std::this_thread::sleep_for(
+                      std::chrono::milliseconds(hit.arg));
+                } else {
+                  throw std::runtime_error(
+                      "job " + std::to_string(job_index) +
+                      ": injected fault (failpoint cell.job)");
+                }
+              }
+              if (const auto hit = failpoint::check("cell.attempt")) {
+                if (hit.action == failpoint::Action::kDelay) {
+                  std::this_thread::sleep_for(
+                      std::chrono::milliseconds(hit.arg));
+                } else {
+                  throw std::runtime_error(
+                      "job " + std::to_string(job_index) +
+                      ": injected fault (failpoint cell.attempt)");
+                }
+              }
+              done.result = core::run_request(job.request, deadline_ns);
+              done.failed = false;
+              break;
+            } catch (const std::exception& e) {
+              done.failed = true;
+              done.error_text = e.what();
+              done.error = std::current_exception();
+            } catch (...) {
+              done.failed = true;
+              done.error_text = "unknown exception";
+              done.error = std::current_exception();
+            }
+            if (attempt >= max_attempts) break;
           }
           {
             std::lock_guard<std::mutex> lock(mutex);
@@ -438,15 +524,34 @@ StreamStats SweepRunner::run_streaming(const SweepSpec& spec, ResultSink& sink,
       batch.swap(completed);
     }
     for (Completion& done : batch) {
-      // Rethrow a failed job on this (the folding) thread, where callers
-      // expect sweep errors to surface.  In-flight jobs drain through the
-      // pool destructor; their completions are simply dropped.
-      if (done.error) std::rethrow_exception(done.error);
-      if (journal) {
-        journal->append(done.job_index, jobs[done.job_index].request.seed,
-                        done.result);
+      stats.jobs_retried += done.attempts - 1;
+      const std::uint64_t seed = jobs[done.job_index].request.seed;
+      if (done.failed) {
+        // Out of retries.  Without quarantine, rethrow on this (the
+        // folding) thread, where callers expect sweep errors to surface —
+        // in-flight jobs drain through the pool destructor and their
+        // completions are simply dropped.  With quarantine, the failure
+        // becomes data: journaled (so a resume re-runs the job) and folded
+        // into the cell's `failed` section so the rest of the sweep
+        // completes.
+        if (!options.quarantine) std::rethrow_exception(done.error);
+        ++stats.jobs_failed;
+        FailureRecord failure;
+        failure.attempts = done.attempts;
+        failure.error = done.error_text;
+        if (journal) journal->append_failed(done.job_index, seed, failure);
+        JobOutcome outcome;
+        outcome.failed = true;
+        outcome.attempts = done.attempts;
+        outcome.error = std::move(done.error_text);
+        resident.emplace(done.job_index, std::move(outcome));
+      } else {
+        if (journal) journal->append(done.job_index, seed, done.result);
+        JobOutcome outcome;
+        outcome.result = std::move(done.result);
+        outcome.attempts = done.attempts;
+        resident.emplace(done.job_index, std::move(outcome));
       }
-      resident.emplace(done.job_index, std::move(done.result));
     }
     note_peak();
 
@@ -454,9 +559,9 @@ StreamStats SweepRunner::run_streaming(const SweepSpec& spec, ResultSink& sink,
     while (fold_pos < owned.size()) {
       const auto it = resident.find(owned[fold_pos]);
       if (it == resident.end()) break;
-      core::RunResult result = std::move(it->second);
+      JobOutcome outcome = std::move(it->second);
       resident.erase(it);
-      folder.fold(owned[fold_pos], std::move(result));
+      folder.fold(owned[fold_pos], std::move(outcome));
       ++fold_pos;
       --outstanding;
     }
@@ -469,6 +574,7 @@ StreamStats SweepRunner::run_streaming(const SweepSpec& spec, ResultSink& sink,
   stats.jobs_used = pool.worker_count();
   stats.tasks_stolen = pool.steal_count();
   stats.cells_emitted = folder.cells_emitted();
+  stats.cells_failed = folder.cells_failed();
   stats.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
@@ -510,6 +616,10 @@ StreamStats merge_journals(const SweepSpec& spec,
     }
     for (const JournalEntry& entry : journal.index().entries) {
       if (!entry.payload_ok) continue;  // Damaged payload: job is missing.
+      // Quarantine records participate like results: an unsuperseded
+      // failure folds into the report's `failed` section below (it is a
+      // recorded outcome, not a missing job), and a later success record
+      // in the same journal supersedes it via last-record-wins.
       check_entry_seed(path, entry, jobs);
       auto& slot = where[entry.job_index];
       if (slot && slot->first != j) {
@@ -542,13 +652,24 @@ StreamStats merge_journals(const SweepSpec& spec,
   CellFolder folder(spec, jobs, sink);
   for (std::uint64_t job_index = 0; job_index < jobs.size(); ++job_index) {
     const auto& [journal_pos, entry] = *where[job_index];
-    folder.fold(job_index, journals[journal_pos].read_payload(entry));
+    JobOutcome outcome;
+    if (entry.failed) {
+      FailureRecord failure = journals[journal_pos].read_failure(entry);
+      outcome.failed = true;
+      outcome.attempts = failure.attempts;
+      outcome.error = std::move(failure.error);
+      ++stats.jobs_failed;
+    } else {
+      outcome.result = journals[journal_pos].read_payload(entry);
+    }
+    folder.fold(job_index, std::move(outcome));
     const std::size_t now = folder.partial_fill();
     if (now > stats.peak_resident_results) stats.peak_resident_results = now;
   }
   sink.end();
 
   stats.cells_emitted = folder.cells_emitted();
+  stats.cells_failed = folder.cells_failed();
   stats.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();

@@ -105,6 +105,15 @@ SweepMeta meta_of(const SweepSpec& spec);
 /// factories must not resume across factory changes.
 std::uint64_t spec_hash(const SweepSpec& spec);
 
+/// One quarantined replicate of a cell: the job failed every attempt and
+/// the sweep degraded gracefully instead of aborting (see
+/// StreamOptions::quarantine).
+struct CellFailure {
+  std::uint32_t replicate = 0;  ///< Which replicate of the cell.
+  std::uint32_t attempts = 0;   ///< Execution attempts, including retries.
+  std::string error;            ///< what() of the last attempt's exception.
+};
+
 /// Aggregated results of one grid cell.
 struct CellResult {
   std::string workload;
@@ -119,6 +128,11 @@ struct CellResult {
   /// science).  Zero-count when the runs were never measured.  Excluded
   /// from reports unless the sink's timing mode is enabled.
   Summary wall_ns;
+  /// Quarantined replicates, in replicate order.  Empty on a healthy cell
+  /// (and a healthy sweep's report bytes are unchanged — the writers emit
+  /// a "failed" section only when this is non-empty).  Failed replicates
+  /// contribute no runs/runtime/stats samples.
+  std::vector<CellFailure> failures;
 
   /// Copy of everything except the raw `runs` (they dominate the
   /// footprint).  The one place that knows which fields a report carries;
@@ -132,6 +146,7 @@ struct CellResult {
     copy.runtime = runtime;
     copy.stats = stats;
     copy.wall_ns = wall_ns;
+    copy.failures = failures;
     return copy;
   }
 };
@@ -197,6 +212,28 @@ struct StreamOptions {
   /// the knob that makes peak residency O(jobs) instead of O(grid).
   /// 0 = 4x the worker count (at least 16).
   std::size_t max_outstanding = 0;
+
+  // --- Self-healing knobs (docs/ROBUSTNESS.md) ----------------------------
+  //
+  // A job that throws is retried up to `cell_retries` times with bounded
+  // exponential backoff; because jobs are pure functions of their grid
+  // coordinates, a retried job reproduces the failed attempt's bytes
+  // exactly.  A job that exhausts its retries either aborts the sweep
+  // (quarantine off: first failure rethrows after in-flight jobs drain —
+  // the pre-existing behavior and the default) or is quarantined: journaled
+  // as a structured failure record and reported in the cell's `failed`
+  // section, letting the other cells complete.
+
+  /// Re-execution attempts after a job's first failure (0 = fail fast).
+  std::uint32_t cell_retries = 0;
+  /// Backoff before retry k (1-based) is `retry_backoff_ms << (k - 1)`.
+  std::uint32_t retry_backoff_ms = 100;
+  /// Per-job wall-clock watchdog, nanoseconds (0 = none).  A job exceeding
+  /// it aborts with a structured no-progress diagnostic instead of hanging
+  /// the sweep; the abort then retries/quarantines like any other failure.
+  std::uint64_t cell_timeout_ns = 0;
+  /// Quarantine permanently failing jobs instead of aborting the sweep.
+  bool quarantine = false;
 };
 
 /// Execution metadata of one run_streaming() call.  Never serialized into
@@ -216,6 +253,13 @@ struct StreamStats {
   /// result moved into the current cell leaves the admission window but
   /// stays resident until the cell's last replicate emits it.
   std::size_t peak_resident_results = 0;
+  /// Jobs quarantined after exhausting retries (0 on a healthy sweep;
+  /// non-zero means the report is degraded — see docs/ROBUSTNESS.md).
+  std::uint64_t jobs_failed = 0;
+  /// Extra execution attempts beyond each job's first (healed transients).
+  std::uint64_t jobs_retried = 0;
+  /// Cells emitted with at least one quarantined replicate.
+  std::uint64_t cells_failed = 0;
 };
 
 /// Executes sweeps on a work-stealing pool.

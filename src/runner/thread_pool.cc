@@ -2,7 +2,12 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 #include <utility>
+
+#if defined(__linux__)
+#include <pthread.h>
+#endif
 
 namespace allarm::runner {
 
@@ -11,11 +16,18 @@ ThreadPool::ThreadPool(std::uint32_t workers)
   threads_.reserve(queues_.size());
   for (std::uint32_t i = 0; i < queues_.size(); ++i) {
     threads_.emplace_back([this, i] { worker_loop(i); });
+#if defined(__linux__)
+    // Name the workers so `top -H`, perf and core dumps attribute sweep
+    // time to the pool instead of anonymous threads (15-char limit).
+    const std::string name = "allarm-w" + std::to_string(i);
+    pthread_setname_np(threads_.back().native_handle(), name.c_str());
+#endif
   }
 }
 
 ThreadPool::~ThreadPool() {
-  wait_idle();
+  wait_idle_no_rethrow();  // A destructor must not throw; the error (if
+                           // any) was either seen by a wait_idle() or lost.
   {
     std::lock_guard<std::mutex> lock(mutex_);
     stopping_ = true;
@@ -38,6 +50,16 @@ void ThreadPool::submit(Task task) {
 }
 
 void ThreadPool::wait_idle() {
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_cv_.wait(lock, [this] { return unfinished_ == 0; });
+    std::swap(error, first_error_);
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+void ThreadPool::wait_idle_no_rethrow() {
   std::unique_lock<std::mutex> lock(mutex_);
   idle_cv_.wait(lock, [this] { return unfinished_ == 0; });
 }
@@ -74,9 +96,17 @@ void ThreadPool::worker_loop(std::uint32_t self) {
       work_cv_.wait(lock, [&] { return try_pop(self, task) || stopping_; });
       if (!task) return;  // Stopping and no work left.
     }
-    task();
+    std::exception_ptr error;
+    try {
+      task();
+    } catch (...) {
+      // Leaked exception: capture the first for wait_idle() to rethrow.
+      // Letting it escape this thread would std::terminate the process.
+      error = std::current_exception();
+    }
     {
       std::lock_guard<std::mutex> lock(mutex_);
+      if (error && !first_error_) first_error_ = std::move(error);
       --unfinished_;
       if (unfinished_ == 0) idle_cv_.notify_all();
     }

@@ -16,6 +16,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -36,12 +37,17 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task.  Tasks must not throw; a task that does terminates
-  /// the process (simulations signal failure through their result slot).
+  /// Enqueues a task.  Tasks should signal failure through their result
+  /// slot (the sweep runner's completion records do); as a safety net, a
+  /// task that throws anyway is caught — the FIRST such exception is
+  /// captured and rethrown from the next wait_idle(), instead of the
+  /// std::terminate an escaped worker exception would cause.  Later
+  /// exceptions are dropped; the pool keeps draining tasks either way.
   void submit(Task task);
 
-  /// Blocks until every submitted task has finished.  The pool is reusable
-  /// afterwards.
+  /// Blocks until every submitted task has finished, then rethrows the
+  /// first exception any task leaked (clearing it — the pool is reusable
+  /// afterwards).
   void wait_idle();
 
   std::uint32_t worker_count() const {
@@ -54,6 +60,9 @@ class ThreadPool {
 
  private:
   void worker_loop(std::uint32_t self);
+  /// wait_idle() without the rethrow, for the destructor (which must not
+  /// throw) and as the shared blocking core.
+  void wait_idle_no_rethrow();
 
   /// Pops the next task for worker `self`: front of its own deque, else the
   /// back of the first non-empty peer deque (a steal).  Returns false when
@@ -68,6 +77,7 @@ class ThreadPool {
   std::condition_variable idle_cv_;  // Signals wait_idle(): all done.
   std::uint64_t unfinished_ = 0;     // Tasks submitted but not yet completed.
   std::uint64_t steals_ = 0;
+  std::exception_ptr first_error_;   // First exception leaked by a task.
   std::uint32_t next_queue_ = 0;     // Round-robin dealing cursor.
   bool stopping_ = false;
 };

@@ -65,6 +65,33 @@ class TraceReader {
   std::uint64_t total_records_ = 0;
 };
 
+/// One problem found by verify_trace: where, and what is wrong.
+struct VerifyIssue {
+  std::uint64_t offset = 0;  ///< File offset of the damaged structure.
+  std::string what;          ///< Human-readable description.
+};
+
+/// Result of a full-file integrity scan.
+struct VerifyReport {
+  std::uint64_t file_bytes = 0;
+  bool framing_ok = false;       ///< Header, footer, index and meta intact.
+  std::uint64_t blocks_total = 0;  ///< Record blocks visited.
+  std::uint64_t blocks_ok = 0;     ///< CRC-clean AND fully decodable.
+  std::uint64_t records_ok = 0;    ///< Records decoded from clean blocks.
+  std::vector<VerifyIssue> issues;
+
+  bool ok() const { return framing_ok && issues.empty(); }
+};
+
+/// Scans every structure of `path` — header, footer, block index, meta
+/// block, and every record block's header CRC, payload CRC and record
+/// decode — and reports ALL damage found, never stopping at the first bad
+/// block.  When the framing itself is broken (torn capture, corrupt
+/// footer/index), falls back to a best-effort sequential block walk from
+/// the header so intact leading blocks are still counted.  Only I/O errors
+/// (open/pread failures) throw; corruption is data, not an exception.
+VerifyReport verify_trace(const std::string& path);
+
 /// Sequential/seekable iterator over one thread's records.
 class TraceCursor {
  public:

@@ -1,10 +1,31 @@
 #include "trace/writer.hh"
 
+#include <chrono>
 #include <stdexcept>
+#include <thread>
 
 #include "common/checksum.hh"
+#include "common/failpoint.hh"
 
 namespace allarm::trace {
+
+namespace {
+
+/// Failpoint poll for the writer's two structural sites (trace.write_block
+/// and trace.finish): kDelay sleeps, everything else throws — a torn
+/// capture is exercised end-to-end via fileio.pwrite instead.
+void trace_failpoint(const char* site, const std::string& path) {
+  const auto hit = failpoint::check(site);
+  if (!hit) return;
+  if (hit.action == failpoint::Action::kDelay) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(hit.arg));
+    return;
+  }
+  throw std::runtime_error("trace " + path + ": injected fault (failpoint " +
+                           site + ")");
+}
+
+}  // namespace
 
 TraceWriter::TraceWriter(const std::string& path,
                          std::uint32_t block_payload_bytes, bool durable)
@@ -51,6 +72,7 @@ std::uint64_t TraceWriter::write_block(std::uint32_t kind,
                                        std::uint32_t record_count,
                                        std::uint64_t first_index,
                                        const std::string& payload) {
+  trace_failpoint("trace.write_block", file_.path());
   BlockHeader header;
   header.kind = kind;
   header.thread_slot = thread_slot;
@@ -84,6 +106,7 @@ void TraceWriter::flush_block(std::uint32_t slot) {
 
 void TraceWriter::finish() {
   if (finished_) throw std::logic_error("TraceWriter: finish() called twice");
+  trace_failpoint("trace.finish", file_.path());
   finished_ = true;
 
   // Flush in slot order so the tail blocks land deterministically.

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/checksum.hh"
+#include "common/failpoint.hh"
 #include "common/fileio.hh"
 #include "core/experiment.hh"
 #include "runner/journal.hh"
@@ -294,6 +295,150 @@ TEST(Journal, TornPayloadTailInvalidatesItsRecord) {
   remove_journal(path);
 }
 
+TEST(Journal, RecoversFromDoubleTornTail) {
+  // Both files torn at once — the crash case journal + data tearing
+  // together (power cut mid-batch): record k is torn AND its payload (and
+  // earlier ones') bytes are chopped.
+  const std::string path = temp_path("journal");
+  remove_journal(path);
+  {
+    auto journal = runner::Journal::create(path, sample_meta());
+    for (int i = 0; i < 4; ++i) journal.append(i, 100 + i, sample_result(i));
+    journal.close();
+  }
+  truncate_file(path, runner::Journal::kHeaderSize +
+                          3 * runner::Journal::kRecordSize + 7);
+  const std::string data = runner::journal_data_path(path);
+  const std::uint64_t data_size = File(data, File::Mode::kRead).size();
+  truncate_file(data, data_size / 2);  // Tears into record 1's payload.
+
+  const runner::JournalIndex index = runner::Journal::load_index(path);
+  // Whatever survives is intact; everything referencing torn bytes is
+  // dropped or flagged, never trusted.
+  std::uint64_t usable = 0;
+  for (const auto& entry : index.entries) {
+    if (!entry.payload_ok) continue;
+    ++usable;
+    runner::Journal journal = runner::Journal::open_read(path);
+    EXPECT_NO_THROW(journal.read_payload(entry));
+  }
+  EXPECT_LT(usable, 4u);
+  EXPECT_GT(index.dropped_records, 0u);
+
+  // And resume appends cleanly after the recovered extent.
+  {
+    auto journal = runner::Journal::open_resume(path, sample_meta());
+    journal.append(9, 109, sample_result(9));
+    journal.close();
+  }
+  const runner::JournalIndex after = runner::Journal::load_index(path);
+  EXPECT_TRUE(after.entries.back().payload_ok);
+  EXPECT_EQ(after.entries.back().job_index, 9u);
+  remove_journal(path);
+}
+
+TEST(Journal, AppendSurvivesInjectedWriteFailureViaResume) {
+  // A pwrite that tears mid-append must leave a journal that load_index
+  // recovers (prefix intact) and open_resume continues.
+  const std::string path = temp_path("journal");
+  remove_journal(path);
+  {
+    auto journal = runner::Journal::create(path, sample_meta());
+    journal.append(0, 100, sample_result(0));
+    failpoint::Scoped guard("fileio.pwrite=torn@1");
+    EXPECT_THROW(journal.append(1, 101, sample_result(1)),
+                 std::runtime_error);
+  }
+  const runner::JournalIndex index = runner::Journal::load_index(path);
+  ASSERT_GE(index.entries.size(), 1u);
+  EXPECT_EQ(index.entries[0].job_index, 0u);
+  EXPECT_TRUE(index.entries[0].payload_ok);
+  {
+    auto journal = runner::Journal::open_resume(path, sample_meta());
+    journal.append(1, 101, sample_result(1));
+    journal.close();
+  }
+  const runner::JournalIndex after = runner::Journal::load_index(path);
+  EXPECT_EQ(after.entries.size(), 2u);
+  EXPECT_TRUE(after.entries[1].payload_ok);
+  failpoint::clear();
+  remove_journal(path);
+}
+
+TEST(Journal, SyncFailureSurfacesLoudly) {
+  const std::string path = temp_path("journal");
+  remove_journal(path);
+  auto journal = runner::Journal::create(path, sample_meta());
+  journal.append(0, 100, sample_result(0));
+  failpoint::Scoped guard("journal.fsync=err@1");
+  try {
+    journal.sync();
+    FAIL() << "injected fsync failure did not throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("injected fault"), std::string::npos)
+        << e.what();
+  }
+  failpoint::clear();
+  remove_journal(path);
+}
+
+// ---------------------------------------------------- quarantine records ----
+
+TEST(Journal, FailureRecordsRoundTrip) {
+  const runner::FailureRecord failure{3, "job 5: injected fault"};
+  const std::string blob = runner::serialize_failure(failure);
+  const runner::FailureRecord restored =
+      runner::deserialize_failure(blob.data(), blob.size());
+  EXPECT_EQ(restored.attempts, 3u);
+  EXPECT_EQ(restored.error, failure.error);
+  EXPECT_THROW(runner::deserialize_failure(blob.data(), blob.size() - 1),
+               std::runtime_error);
+
+  const std::string path = temp_path("journal");
+  remove_journal(path);
+  {
+    auto journal = runner::Journal::create(path, sample_meta());
+    journal.append(0, 100, sample_result(0));
+    journal.append_failed(1, 101, failure);
+    journal.close();
+  }
+  const runner::JournalIndex index = runner::Journal::load_index(path);
+  ASSERT_EQ(index.entries.size(), 2u);
+  EXPECT_FALSE(index.entries[0].failed);
+  EXPECT_TRUE(index.entries[1].failed);
+  EXPECT_TRUE(index.entries[1].payload_ok);
+  runner::Journal journal = runner::Journal::open_read(path);
+  const runner::FailureRecord read = journal.read_failure(index.entries[1]);
+  EXPECT_EQ(read.attempts, 3u);
+  EXPECT_EQ(read.error, failure.error);
+  remove_journal(path);
+}
+
+TEST(Journal, LaterSuccessSupersedesAFailureRecordOnResume) {
+  // Quarantine then heal: the journal holds failed(1) followed by a
+  // success for the same job.  Resume must treat job 1 as done with the
+  // success payload (last record wins in both directions).
+  const std::string path = temp_path("journal");
+  remove_journal(path);
+  {
+    auto journal = runner::Journal::create(path, sample_meta());
+    journal.append(0, 100, sample_result(0));
+    journal.append_failed(1, 101, {2, "transient"});
+    journal.append(1, 101, sample_result(1));
+    journal.close();
+  }
+  const runner::JournalIndex index = runner::Journal::load_index(path);
+  ASSERT_EQ(index.entries.size(), 3u);
+  // Fold the way resume does: failed erases, success (re)inserts.
+  bool job1_done = false;
+  for (const auto& entry : index.entries) {
+    if (entry.job_index != 1 || !entry.payload_ok) continue;
+    job1_done = !entry.failed;
+  }
+  EXPECT_TRUE(job1_done);
+  remove_journal(path);
+}
+
 TEST(Journal, RejectsMetaMismatchOnResume) {
   const std::string path = temp_path("journal");
   remove_journal(path);
@@ -517,6 +662,40 @@ TEST(Streaming, ShardsEmitDisjointCellsAndMergeReproducesTheWhole) {
   EXPECT_EQ(stats.jobs_resumed, spec.job_count());
   EXPECT_EQ(merged.str(), reference);
 
+  remove_journal(j1);
+  remove_journal(j2);
+}
+
+TEST(Streaming, MergeRefusesACorruptShardInsteadOfDroppingItsJobs) {
+  const auto spec = tiny_spec();
+  const std::string j1 = temp_path("shard1");
+  const std::string j2 = temp_path("shard2");
+  remove_journal(j1);
+  remove_journal(j2);
+
+  runner::StreamOptions options;
+  options.journal_path = j1;
+  options.shard = {1, 2};
+  stream_json(spec, 2, options);
+  options.journal_path = j2;
+  options.shard = {2, 2};
+  stream_json(spec, 2, options);
+
+  // Rot one payload in shard 1: its job is untrusted, so the merge no
+  // longer covers the grid and must refuse — never a silently thinner
+  // report.
+  const runner::JournalIndex index = runner::Journal::load_index(j1);
+  flip_byte(runner::journal_data_path(j1),
+            index.entries[0].payload_offset + 1);
+  std::ostringstream out;
+  runner::JsonStreamSink sink(out);
+  try {
+    runner::merge_journals(spec, {j1, j2}, sink);
+    FAIL() << "merge accepted a corrupt shard";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("incomplete"), std::string::npos)
+        << e.what();
+  }
   remove_journal(j1);
   remove_journal(j2);
 }

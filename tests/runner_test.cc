@@ -79,6 +79,44 @@ TEST(ThreadPool, RejectsEmptyTasks) {
   pool.wait_idle();  // The rejected task must not wedge the pool.
 }
 
+TEST(ThreadPool, PropagatesTheFirstWorkerExceptionFromWaitIdle) {
+  // A throwing task must surface at wait_idle() — never std::terminate,
+  // never silently swallowed.
+  runner::ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 20; ++i) {
+    pool.submit([&count, i] {
+      ++count;
+      if (i == 7) throw std::runtime_error("task 7 exploded");
+    });
+  }
+  try {
+    pool.wait_idle();
+    FAIL() << "worker exception was not rethrown";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task 7 exploded");
+  }
+  EXPECT_EQ(count.load(), 20);  // The failure did not cancel other tasks.
+
+  // The error slot is consumed: the pool keeps working afterwards.
+  pool.submit([&count] { ++count; });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 21);
+}
+
+TEST(ThreadPool, KeepsOnlyTheFirstOfManyErrors) {
+  runner::ThreadPool pool(1);  // One worker: deterministic error order.
+  for (int i = 0; i < 3; ++i) {
+    pool.submit([i] { throw std::runtime_error("error " + std::to_string(i)); });
+  }
+  try {
+    pool.wait_idle();
+    FAIL() << "worker exceptions were not rethrown";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "error 0");
+  }
+}
+
 // ------------------------------------------------------------ sweep grid ----
 
 /// A 4-node machine with shrunken caches: big enough to exercise the

@@ -421,6 +421,62 @@ TEST(TraceFormat, DetectsCorruption) {
   std::remove(path.c_str());
 }
 
+TEST(TraceFormat, VerifyScansEveryBlockWithoutStoppingAtTheFirstBadOne) {
+  const std::string path = temp_path("verify");
+  write_golden(path);
+  const std::string pristine = read_file(path);
+
+  const auto rewrite = [&](const std::string& bytes) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.close();
+  };
+
+  // Pristine: clean bill of health, every record counted.
+  const VerifyReport clean = verify_trace(path);
+  EXPECT_TRUE(clean.ok());
+  EXPECT_TRUE(clean.framing_ok);
+  EXPECT_EQ(clean.blocks_total, 3u);  // Thread 0 spans two blocks + one more.
+  EXPECT_EQ(clean.blocks_ok, clean.blocks_total);
+  EXPECT_EQ(clean.records_ok, 6u);
+  EXPECT_TRUE(clean.issues.empty());
+
+  // Rot the payloads of the FIRST TWO blocks: verify must report both
+  // (not stop at the first) and still count the intact third block.
+  IndexEntry block0, block1;
+  {
+    TraceReader probe(path);
+    block0 = probe.blocks().at(0);
+    block1 = probe.blocks().at(1);
+  }
+  std::string bytes = pristine;
+  bytes[block0.offset + sizeof(BlockHeader)] ^= 0x40;
+  bytes[block1.offset + sizeof(BlockHeader)] ^= 0x40;
+  rewrite(bytes);
+  const VerifyReport rotten = verify_trace(path);
+  EXPECT_FALSE(rotten.ok());
+  EXPECT_TRUE(rotten.framing_ok);  // Framing is intact, payloads are not.
+  EXPECT_EQ(rotten.blocks_total, 3u);
+  EXPECT_EQ(rotten.blocks_ok, 1u);
+  ASSERT_EQ(rotten.issues.size(), 2u);
+  EXPECT_EQ(rotten.issues[0].offset, block0.offset);
+  EXPECT_EQ(rotten.issues[1].offset, block1.offset);
+
+  // A torn capture (no footer): framing is gone, but the sequential
+  // fallback walk still credits the intact leading blocks.
+  rewrite(pristine.substr(0, pristine.size() - sizeof(Footer)));
+  const VerifyReport torn = verify_trace(path);
+  EXPECT_FALSE(torn.ok());
+  EXPECT_FALSE(torn.framing_ok);
+  EXPECT_GT(torn.blocks_ok, 0u);
+  EXPECT_GT(torn.records_ok, 0u);
+  EXPECT_FALSE(torn.issues.empty());
+
+  // Only real I/O errors throw; a missing file is one.
+  std::remove(path.c_str());
+  EXPECT_THROW(verify_trace(path), std::runtime_error);
+}
+
 // ----------------------------------------------------- TraceReplayGenerator ----
 
 /// Writes `records` as a single-thread trace and returns a shared reader.
