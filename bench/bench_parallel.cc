@@ -1,0 +1,240 @@
+// Parallel single-simulation (PDES) throughput benchmark.
+//
+// Measures the lane-sharded event kernel (src/parallel/, docs/PARALLEL.md)
+// on the largest stock mesh (8x8, one thread per node) against the serial
+// kernel:
+//
+//   serial       - the plain single-lane kernel (the oracle);
+//   barrier/sN   - N event-queue shards, conservative barrier mode.  The
+//                  execution order is byte-identical to serial by
+//                  construction; this row measures what the lane merge
+//                  costs (or saves) per event.  The bench HARD-FAILS if a
+//                  barrier run's event count diverges from serial.
+//   lax/s4       - 4 shards, slack-bounded windows with mailbox flushes
+//                  (approximate; the error study lives in docs/PARALLEL.md).
+//
+// Like bench_kernel_throughput this is plain chrono (min-of-reps around
+// System::run), writes a schema_version-1 JSON report, and is gated by
+// scripts/check_bench.py against bench/baseline/BENCH_parallel.json.
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_cli.hh"
+#include "common/stats.hh"
+#include "core/experiment.hh"
+#include "core/system.hh"
+#include "parallel/engine.hh"
+#include "runner/report.hh"
+#include "sim/event.hh"
+#include "workload/profiles.hh"
+
+namespace allarm::bench {
+namespace {
+
+struct WorkloadResult {
+  std::string name;
+  std::uint64_t events = 0;
+  double wall_seconds = 0.0;
+  double events_per_sec = 0.0;
+  double ns_per_event = 0.0;
+  double speedup_vs_serial = 0.0;  ///< This row's rate / the serial row's.
+  std::uint64_t event_heap_fallbacks = 0;
+  std::uint64_t cross_events = 0;  ///< Cross-lane schedules (0 for serial).
+};
+
+struct Options {
+  std::uint64_t accesses = 2000;
+  int reps = 3;
+  std::string out = "BENCH_parallel.json";
+  std::string only;
+};
+
+SystemConfig big_mesh_config() {
+  SystemConfig config;
+  config.mesh_width = 8;
+  config.mesh_height = 8;
+  config.num_cores = config.num_nodes();  // one core per node, as validated
+  return config;
+}
+
+WorkloadResult measure(const std::string& name, const SystemConfig& config,
+                       const workload::WorkloadSpec& spec,
+                       const core::RunOptions& options, const Options& opt) {
+  WorkloadResult r;
+  r.name = name;
+  r.wall_seconds = 1e300;
+  const std::uint64_t fallbacks_before = sim::Event::heap_fallbacks();
+  for (int i = 0; i < opt.reps; ++i) {
+    core::System system(config);
+    const auto t0 = std::chrono::steady_clock::now();
+    core::RunResult run = system.run(spec, options);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double secs = std::chrono::duration<double>(t1 - t0).count();
+    r.events = system.events().events_executed();
+    r.cross_events = run.par.cross_events;
+    if (secs < r.wall_seconds) r.wall_seconds = secs;
+  }
+  r.events_per_sec =
+      r.wall_seconds > 0.0 ? static_cast<double>(r.events) / r.wall_seconds
+                           : 0.0;
+  r.ns_per_event =
+      r.events > 0 ? r.wall_seconds * 1e9 / static_cast<double>(r.events) : 0.0;
+  r.event_heap_fallbacks = sim::Event::heap_fallbacks() - fallbacks_before;
+  return r;
+}
+
+std::string to_json(const std::vector<WorkloadResult>& results,
+                    const Options& opt) {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"bench\": \"parallel\",\n";
+  out << "  \"schema_version\": 1,\n";
+  out << "  \"accesses_per_thread\": " << opt.accesses << ",\n";
+  out << "  \"reps\": " << opt.reps << ",\n";
+  out << "  \"workloads\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const WorkloadResult& r = results[i];
+    out << "    {\n";
+    out << "      \"name\": " << json_quote(r.name) << ",\n";
+    out << "      \"events\": " << r.events << ",\n";
+    out << "      \"wall_seconds\": " << json_number(r.wall_seconds) << ",\n";
+    out << "      \"events_per_sec\": " << json_number(r.events_per_sec)
+        << ",\n";
+    out << "      \"ns_per_event\": " << json_number(r.ns_per_event) << ",\n";
+    out << "      \"speedup_vs_serial\": " << json_number(r.speedup_vs_serial)
+        << ",\n";
+    out << "      \"cross_lane_events\": " << r.cross_events << ",\n";
+    out << "      \"event_heap_fallbacks\": " << r.event_heap_fallbacks
+        << "\n";
+    out << "    }" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n";
+  {
+    std::vector<double> rates;
+    for (const WorkloadResult& r : results) rates.push_back(r.events_per_sec);
+    out << "  \"geomean_events_per_sec\": " << json_number(geomean(rates))
+        << "\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+int run(const Options& opt) {
+  const SystemConfig config = big_mesh_config();
+  const workload::WorkloadSpec spec = workload::make_from_params(
+      workload::benchmark_params("ocean-cont"), config, opt.accesses,
+      config.num_nodes());
+
+  struct Row {
+    const char* name;
+    std::uint32_t shards;
+    parallel::ParMode mode;
+  };
+  const Row rows[] = {
+      {"serial", 1, parallel::ParMode::kBarrier},
+      {"barrier/s1", 1, parallel::ParMode::kBarrier},
+      {"barrier/s2", 2, parallel::ParMode::kBarrier},
+      {"barrier/s4", 4, parallel::ParMode::kBarrier},
+      {"lax/s4", 4, parallel::ParMode::kLax},
+  };
+
+  std::vector<WorkloadResult> results;
+  for (const Row& row : rows) {
+    if (!selected(opt.only, row.name)) continue;
+    core::RunOptions ro;
+    ro.seed = 42;
+    ro.par.mode = row.mode;
+    ro.par.shards = row.shards;
+    // "serial" is shards=1 through the serial fast path; "barrier/s1" is
+    // the same machine through the sharded merge (shards > 1 required to
+    // engage it, so s1 rides the serial path too and measures overhead 0;
+    // keep both rows so the trajectory shows the split explicitly).
+    if (std::strcmp(row.name, "serial") == 0) ro.par.shards = 1;
+    results.push_back(measure(row.name, config, spec, ro, opt));
+  }
+  if (results.empty()) {
+    std::cerr << "unknown workload: " << opt.only << "\n";
+    return 2;
+  }
+
+  // Byte-exactness spot check: every barrier row must execute EXACTLY the
+  // serial event count (full report equality is pinned by
+  // tests/parallel_test.cc; the count catches kernel-order drift here).
+  const WorkloadResult* serial = nullptr;
+  for (const WorkloadResult& r : results) {
+    if (r.name == "serial") serial = &r;
+  }
+  if (serial != nullptr) {
+    for (const WorkloadResult& r : results) {
+      if (r.name.rfind("barrier/", 0) == 0 && r.events != serial->events) {
+        std::cerr << "FAIL: " << r.name << " executed " << r.events
+                  << " events but serial executed " << serial->events
+                  << " — barrier mode diverged from the oracle\n";
+        return 1;
+      }
+      const_cast<WorkloadResult&>(r).speedup_vs_serial =
+          serial->events_per_sec > 0.0
+              ? r.events_per_sec / serial->events_per_sec
+              : 0.0;
+    }
+  }
+
+  TextTable table({"workload", "events", "wall_s", "Mev/s", "ns/event",
+                   "vs_serial", "cross_lane"});
+  for (const WorkloadResult& r : results) {
+    table.add_row({r.name, std::to_string(r.events),
+                   TextTable::fmt(r.wall_seconds, 3),
+                   TextTable::fmt(r.events_per_sec / 1e6, 2),
+                   TextTable::fmt(r.ns_per_event, 1),
+                   r.speedup_vs_serial > 0.0
+                       ? TextTable::fmt(r.speedup_vs_serial, 2)
+                       : "n/a",
+                   std::to_string(r.cross_events)});
+  }
+  std::cout << "Parallel kernel throughput (8x8 mesh, accesses="
+            << opt.accesses << ", reps=" << opt.reps << ")\n"
+            << table.to_string();
+
+  const std::string json = to_json(results, opt);
+  runner::write_file(opt.out, json);
+  std::cout << "wrote " << opt.out << "\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace allarm::bench
+
+int main(int argc, char** argv) {
+  allarm::bench::Options opt;
+  opt.accesses = allarm::core::bench_accesses(opt.accesses);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--accesses") {
+      opt.accesses = std::strtoull(value().c_str(), nullptr, 10);
+    } else if (arg == "--reps") {
+      opt.reps = std::atoi(value().c_str());
+    } else if (arg == "--out") {
+      opt.out = value();
+    } else if (arg == "--only") {
+      opt.only = value();
+    } else {
+      std::cerr << "usage: bench_parallel [--accesses N] [--reps N] "
+                   "[--only serial,barrier/s1,barrier/s2,barrier/s4,lax/s4] "
+                   "[--out FILE]\n";
+      return arg == "--help" ? 0 : 2;
+    }
+  }
+  return allarm::bench::run(opt);
+}

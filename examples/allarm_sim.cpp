@@ -15,6 +15,9 @@
 //   --migrate-us N       migrate a random thread every N microseconds
 //   --seed N             RNG seed (default 42)
 //   --full-stats         dump the complete statistic set per run
+//   --par-shards N       split the event queue into N lanes (must divide
+//                        the mesh width; docs/PARALLEL.md)
+//   --par-mode MODE      barrier (default, byte-identical to serial) | lax
 //   --list               list available benchmarks and exit
 #include <cstdlib>
 #include <cstring>
@@ -47,6 +50,7 @@ struct Options {
   std::uint32_t migrate_us = 0;
   std::uint64_t seed = 42;
   bool full_stats = false;
+  parallel::ParConfig par;
 };
 
 [[noreturn]] void usage(int code) {
@@ -55,7 +59,8 @@ struct Options {
       "                  [--mode baseline|allarm|both] [--accesses N]\n"
       "                  [--pf-kb N] [--pf-ways N] [--policy first-touch|interleave]\n"
       "                  [--eviction-buffer] [--serial-probe] [--migrate-us N]\n"
-      "                  [--seed N] [--full-stats] [--list]\n";
+      "                  [--seed N] [--full-stats] [--par-shards N]\n"
+      "                  [--par-mode barrier|lax] [--list]\n";
   std::exit(code);
 }
 
@@ -80,6 +85,20 @@ Options parse(int argc, char** argv) {
     else if (a == "--migrate-us") o.migrate_us = std::strtoul(value(i), nullptr, 10);
     else if (a == "--seed") o.seed = std::strtoull(value(i), nullptr, 10);
     else if (a == "--full-stats") o.full_stats = true;
+    else if (a == "--par-shards") {
+      o.par.shards = std::strtoul(value(i), nullptr, 10);
+      if (o.par.shards == 0) {
+        std::cerr << "--par-shards must be positive\n";
+        usage(2);
+      }
+    } else if (a == "--par-mode") {
+      try {
+        o.par.mode = parallel::par_mode_from_string(value(i));
+      } catch (const std::exception& e) {
+        std::cerr << e.what() << '\n';
+        usage(2);
+      }
+    }
     else if (a == "--list") {
       for (const auto& n : workload::benchmark_names()) std::cout << n << '\n';
       std::exit(0);
@@ -104,6 +123,7 @@ core::RunResult run_mode(const Options& o, const SystemConfig& config,
   core::RunOptions options;
   options.seed = o.seed;
   options.migration_interval = ticks_from_ns(1000.0) * o.migrate_us;
+  options.par = o.par;
   return system.run(spec, options);
 }
 
@@ -164,7 +184,12 @@ int main(int argc, char** argv) {
   }
 
   std::cout << "workload '" << spec.name << "', " << spec.threads.size()
-            << " threads, PF " << o.pf_kb << "kB x" << o.pf_ways << "-way\n\n";
+            << " threads, PF " << o.pf_kb << "kB x" << o.pf_ways << "-way\n";
+  if (o.par.enabled()) {
+    std::cout << "parallel: " << o.par.shards << " event-queue shards, "
+              << parallel::to_string(o.par.mode) << " mode\n";
+  }
+  std::cout << '\n';
 
   std::optional<core::RunResult> base, allarm;
   if (o.mode == "baseline" || o.mode == "both") {

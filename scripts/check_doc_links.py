@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Fail on dead relative links in the repo's markdown documentation.
+
+Scans README.md and docs/*.md (plus any extra files passed on the command
+line) for inline markdown links and checks every relative target against
+the working tree.  Checked:
+
+- relative file links, e.g. [sweeps](docs/SWEEPS.md) or [tests](../tests)
+  -- the target path must exist, resolved against the linking file's
+  directory;
+- anchors on relative links, e.g. docs/PERF.md#thread-pool -- the target
+  file must contain a heading whose GitHub slug matches the fragment.
+
+Skipped: absolute URLs (http/https/mailto), pure intra-file anchors
+(#section -- tied to the renderer), and links inside fenced code blocks.
+
+Usage: scripts/check_doc_links.py [extra.md ...]
+Exit status: 0 when every link resolves, 1 otherwise.
+"""
+
+import pathlib
+import re
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+
+
+def slugify(heading: str) -> str:
+    """GitHub's anchor slug: lowercase, spaces to dashes, punctuation out."""
+    text = re.sub(r"[`*_]", "", heading.strip()).lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: pathlib.Path) -> set:
+    anchors, fenced = set(), False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if line.lstrip().startswith("```"):
+            fenced = not fenced
+            continue
+        if fenced:
+            continue
+        match = HEADING_RE.match(line)
+        if match:
+            anchors.add(slugify(match.group(1)))
+    return anchors
+
+
+def check_file(path: pathlib.Path) -> list:
+    errors, fenced = [], False
+    for lineno, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if line.lstrip().startswith("```"):
+            fenced = not fenced
+            continue
+        if fenced:
+            continue
+        for target in LINK_RE.findall(line):
+            if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # http:, mailto:, ...
+                continue
+            if target.startswith("#"):  # intra-file anchor
+                continue
+            base, _, fragment = target.partition("#")
+            resolved = (path.parent / base).resolve()
+            rel = path.relative_to(REPO)
+            if not resolved.exists():
+                errors.append(f"{rel}:{lineno}: dead link -> {target}")
+                continue
+            if fragment and resolved.is_file() and resolved.suffix == ".md":
+                if fragment not in anchors_of(resolved):
+                    errors.append(
+                        f"{rel}:{lineno}: missing anchor -> {target}"
+                    )
+    return errors
+
+
+def main() -> int:
+    files = [REPO / "README.md"] + sorted((REPO / "docs").glob("*.md"))
+    files += [pathlib.Path(arg).resolve() for arg in sys.argv[1:]]
+    errors, missing = [], []
+    for path in files:
+        if not path.exists():
+            missing.append(str(path.relative_to(REPO)))
+            continue
+        errors.extend(check_file(path))
+    for name in missing:
+        errors.append(f"{name}: file missing (expected by the doc map)")
+    if errors:
+        print("check_doc_links: FAIL", file=sys.stderr)
+        for error in errors:
+            print(f"  {error}", file=sys.stderr)
+        return 1
+    print(f"check_doc_links: OK ({len(files)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

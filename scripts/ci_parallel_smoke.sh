@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# CI smoke for parallel single-simulation (PDES) mode (docs/PARALLEL.md;
+# also runs fine locally):
+#
+#  1. barrier oracle   - the conservative barrier mode must reproduce the
+#                        serial sweep report byte for byte at 1, 2 and 4
+#                        event-queue shards (JSON and CSV both);
+#  2. jobs invariance  - a sharded barrier run is still byte-identical
+#                        across --jobs (the split_budget worker division
+#                        must not leak into report bytes);
+#  3. lax determinism  - the slack-bounded lax mode is approximate by
+#                        design but must be deterministic run to run;
+#  4. flag validation  - shard counts that do not divide the mesh width
+#                        and lax-only flags on barrier runs fail fast with
+#                        a usage error, not mid-sweep.
+#
+# Usage: scripts/ci_parallel_smoke.sh [path-to-sweep]
+set -euo pipefail
+
+SWEEP=${1:-./build/sweep}
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+ARGS=(--grid quick --seeds 2 --accesses 500 --seed 42)
+
+echo "== 1/4 barrier mode reproduces the serial report at 1/2/4 shards =="
+"$SWEEP" "${ARGS[@]}" --jobs 2 --out "$WORK/serial.json" \
+         --csv "$WORK/serial.csv"
+for shards in 1 2 4; do
+    "$SWEEP" "${ARGS[@]}" --jobs 2 --par-shards "$shards" --par-mode barrier \
+             --out "$WORK/par$shards.json" --csv "$WORK/par$shards.csv"
+    cmp "$WORK/serial.json" "$WORK/par$shards.json"
+    cmp "$WORK/serial.csv" "$WORK/par$shards.csv"
+    echo "OK: barrier @ $shards shard(s) byte-identical to serial"
+done
+
+echo "== 2/4 sharded barrier run is --jobs invariant =="
+"$SWEEP" "${ARGS[@]}" --jobs 1 --par-shards 4 --par-mode barrier \
+         --out "$WORK/par4-j1.json"
+cmp "$WORK/par4.json" "$WORK/par4-j1.json"
+echo "OK: 4-shard barrier report byte-identical at any --jobs"
+
+echo "== 3/4 lax mode is deterministic run to run =="
+"$SWEEP" "${ARGS[@]}" --jobs 2 --par-shards 4 --par-mode lax \
+         --out "$WORK/lax-a.json"
+"$SWEEP" "${ARGS[@]}" --jobs 2 --par-shards 4 --par-mode lax \
+         --out "$WORK/lax-b.json"
+cmp "$WORK/lax-a.json" "$WORK/lax-b.json"
+echo "OK: lax reports reproduce byte-identically"
+
+echo "== 4/4 invalid parallel flags fail fast =="
+if "$SWEEP" "${ARGS[@]}" --par-shards 3 --out "$WORK/bad.json" \
+        2> "$WORK/bad-shards.err"; then
+    echo "FAIL: --par-shards 3 (does not divide mesh width 4) was accepted"
+    exit 1
+fi
+grep -qi "shard" "$WORK/bad-shards.err"
+if "$SWEEP" "${ARGS[@]}" --par-shards 2 --par-slack-ns 50 \
+        --out "$WORK/bad.json" 2> "$WORK/bad-slack.err"; then
+    echo "FAIL: --par-slack-ns on a barrier run was accepted"
+    exit 1
+fi
+echo "OK: bad shard counts and barrier+slack combinations are rejected"
+
+echo "parallel smoke: all checks passed"

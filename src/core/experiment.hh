@@ -58,6 +58,10 @@ struct RunRequest {
   /// stream's results with a different identity).  Divergent-scenario
   /// replay goes through trace::make_replay_workload directly.
   std::string replay_trace;
+  /// Parallel single-simulation config (src/parallel/).  Default (shards=1)
+  /// is the serial kernel; barrier mode at any shard count is byte-identical
+  /// to it, so sweep identity (spec_hash) only folds this when lax.
+  parallel::ParConfig par;
 };
 
 /// Runs `request` on a fresh System.  Thread-safe: concurrent calls never

@@ -23,6 +23,7 @@
 #include "mem/dram.hh"
 #include "noc/mesh.hh"
 #include "numa/os.hh"
+#include "parallel/engine.hh"
 #include "sim/event_queue.hh"
 #include "workload/spec.hh"
 
@@ -56,6 +57,14 @@ struct RunOptions {
   /// Capture forces the serial issue path (stream-identical to the ring by
   /// the next_batch contract) so draw counts attribute to single accesses.
   trace::TraceWriter* capture = nullptr;
+  /// Parallel single-simulation config (src/parallel/, docs/PARALLEL.md).
+  /// shards <= 1 runs the plain serial kernel; barrier mode is
+  /// byte-identical to it at any shard count, lax mode is approximate.
+  parallel::ParConfig par;
+  /// Optional pool for the lax engine's concurrent mailbox flushes.  Must
+  /// NOT be a pool this run itself executes on (the flush blocks in
+  /// wait_idle); sweep jobs therefore leave it null.
+  runner::ThreadPool* par_pool = nullptr;
 };
 
 /// Results of one run.
@@ -69,6 +78,11 @@ struct RunResult {
   /// (JsonStreamSink timing mode), but the sweep journal records it so a
   /// shard scheduler can size shards by measured cell cost.
   std::uint64_t wall_ns = 0;
+  /// Parallel-engine observability for sharded runs (defaulted for serial
+  /// runs).  Lives OUTSIDE `stats` deliberately: barrier-mode reports must
+  /// stay byte-identical to serial ones, so sharding must not perturb the
+  /// serialized key set or values (same contract as wall_ns).
+  parallel::ParStats par;
 };
 
 /// The assembled machine.

@@ -1,0 +1,137 @@
+#include "parallel/engine.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "runner/thread_pool.hh"
+
+namespace allarm::parallel {
+
+std::string to_string(ParMode mode) {
+  return mode == ParMode::kBarrier ? "barrier" : "lax";
+}
+
+ParMode par_mode_from_string(const std::string& name) {
+  if (name == "barrier") return ParMode::kBarrier;
+  if (name == "lax") return ParMode::kLax;
+  throw std::invalid_argument("parallel: unknown --par-mode '" + name +
+                              "' (expected barrier or lax)");
+}
+
+std::uint32_t split_budget(std::uint32_t jobs, std::uint32_t shards) {
+  if (shards <= 1) return jobs;
+  return std::max<std::uint32_t>(1, jobs / shards);
+}
+
+namespace {
+
+/// One undelivered cross-lane event, parked at a window barrier.
+struct Parked {
+  Tick when;
+  std::uint64_t seq;
+  sim::Event event;
+};
+
+struct Mailboxes {
+  std::vector<std::vector<Parked>> boxes;
+  std::uint64_t total = 0;
+
+  static void hook(void* ctx, std::uint32_t /*src*/, std::uint32_t dst,
+                   Tick when, std::uint64_t seq, sim::Event&& e) {
+    auto* self = static_cast<Mailboxes*>(ctx);
+    self->boxes[dst].push_back(Parked{when, seq, std::move(e)});
+    ++self->total;
+  }
+};
+
+}  // namespace
+
+ParStats run_lax(sim::EventQueue& events, const ParConfig& config,
+                 Tick lookahead_ticks, runner::ThreadPool* pool) {
+  if (!events.sharded()) {
+    throw std::logic_error("parallel: run_lax needs a sharded queue");
+  }
+  ParStats stats;
+  stats.shards = events.lanes();
+  stats.mode = ParMode::kLax;
+  stats.lookahead = lookahead_ticks;
+  stats.slack = config.slack != 0 ? config.slack
+                                  : (lookahead_ticks == kTickNever
+                                         ? Tick{1}
+                                         : lookahead_ticks * 4);
+  if (stats.slack == 0) stats.slack = 1;
+
+  Mailboxes mail;
+  mail.boxes.resize(events.lanes());
+  events.set_cross_lane_hook(&Mailboxes::hook, &mail);
+  events.set_lax_clamp(true);
+
+  const std::uint32_t lanes = events.lanes();
+  // Per-lane warp accumulators: the flush may run on pool workers, and
+  // distinct lanes must not share a counter.
+  std::vector<std::uint64_t> warped(lanes, 0);
+  std::vector<Tick> max_warp(lanes, 0);
+
+  while (true) {
+    Tick window;
+    std::uint64_t seq;
+    if (events.peek_next(window, seq) < 0) break;  // Mailboxes drain below.
+    // Window [window, edge]: every lane runs its slice to completion with
+    // cross-lane sends parked.  Within the conservative lookahead this
+    // reorders nothing; beyond it (slack > lookahead) a parked event may
+    // arrive "late" and get warped to the edge.
+    const Tick edge = window + stats.slack - 1;
+    for (std::uint32_t l = 0; l < lanes; ++l) {
+      events.run_lane_until(l, edge);
+    }
+    ++stats.windows;
+
+    // Flush barrier: deliver every mailbox in deterministic (tick, seq)
+    // order.  Distinct destination lanes touch disjoint queue state, so
+    // with a pool the per-lane flushes run concurrently — the one place
+    // serialized-execution mode can already use host parallelism safely.
+    const auto flush = [&mail, &warped, &max_warp, &events,
+                        edge](std::uint32_t l) {
+      auto& box = mail.boxes[l];
+      std::sort(box.begin(), box.end(), [](const Parked& a, const Parked& b) {
+        return a.when != b.when ? a.when < b.when : a.seq < b.seq;
+      });
+      for (Parked& p : box) {
+        Tick when = p.when;
+        if (when <= edge) {
+          // The destination lane already executed past this tick; deliver
+          // at the window edge instead of rewinding.  This warp is the lax
+          // mode's entire accuracy loss — counted, bounded by slack.
+          const Tick warp = edge + 1 - when;
+          when = edge + 1;
+          ++warped[l];
+          if (warp > max_warp[l]) max_warp[l] = warp;
+        }
+        events.inject(l, when, p.seq, std::move(p.event));
+      }
+      box.clear();
+    };
+    if (pool != nullptr && lanes > 1) {
+      for (std::uint32_t l = 0; l < lanes; ++l) {
+        pool->submit([&flush, l] { flush(l); });
+      }
+      pool->wait_idle();
+    } else {
+      for (std::uint32_t l = 0; l < lanes; ++l) flush(l);
+    }
+  }
+
+  events.set_cross_lane_hook(nullptr, nullptr);
+  events.set_lax_clamp(false);
+  for (std::uint32_t l = 0; l < lanes; ++l) {
+    stats.warped += warped[l];
+    stats.max_warp = std::max(stats.max_warp, max_warp[l]);
+  }
+  stats.mailboxed = mail.total;
+  stats.cross_events = events.cross_lane_stats().events;
+  stats.min_cross_delta = events.cross_lane_stats().min_delta;
+  stats.clamped = events.cross_lane_stats().lax_clamps;
+  return stats;
+}
+
+}  // namespace allarm::parallel

@@ -1,0 +1,99 @@
+// Parallel single-simulation (PDES) engine: configuration, statistics and
+// the lax (slack-bounded) execution loop.  See docs/PARALLEL.md.
+//
+// Two modes over the lane-sharded EventQueue (sim/event_queue.hh):
+//
+//  * barrier — the queue's sharded run_one() pops the globally minimal
+//    (tick, seq) across lanes, so execution order — and therefore every
+//    report byte and the sim.events count — is IDENTICAL to the serial
+//    kernel at any shard count.  The serial kernel stays the oracle; this
+//    mode is the deterministic parallel decomposition it validates.
+//
+//  * lax — Graphite-style slack-bounded synchronization: each lane runs a
+//    window [W, W + slack) to completion before any barrier, cross-lane
+//    events accumulate in per-destination mailboxes and are flushed (in
+//    deterministic (tick, seq) order) at the window barrier.  A mailboxed
+//    event whose tick falls inside the already-executed window is WARPED
+//    to the window edge — that warp is the mode's accuracy loss, counted
+//    in ParStats and studied in docs/PARALLEL.md's error-bound table.
+//    Still deterministic run-to-run, but NOT byte-identical to serial.
+//
+// Host-thread strategy: both modes use serialized event execution.  The
+// simulated machine's protocol components interact synchronously across
+// nodes within a single event (a directory probes a remote cache's state
+// in the same call stack; the mesh keeps one global per-link contention
+// ledger), so running two lanes' events concurrently would race on
+// simulated state and break the byte-exactness contract that every other
+// subsystem leans on.  The decomposition work — ownership partitioning,
+// cross-lane mailboxes, lookahead windows — is real and is what a future
+// concurrent backend needs; today the ThreadPool is used where it is
+// provably safe: flushing mailboxes into *disjoint* lanes concurrently,
+// and splitting the host thread budget between sweep jobs and shards
+// (split_budget).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "parallel/partition.hh"
+#include "sim/event_queue.hh"
+
+namespace allarm::runner {
+class ThreadPool;
+}
+
+namespace allarm::parallel {
+
+/// Synchronization discipline for a sharded run.
+enum class ParMode : std::uint8_t {
+  kBarrier,  ///< Conservative; byte-identical to the serial oracle.
+  kLax,      ///< Slack-bounded; deterministic but approximate.
+};
+
+std::string to_string(ParMode mode);
+/// Parses "barrier" / "lax"; throws std::invalid_argument otherwise.
+ParMode par_mode_from_string(const std::string& name);
+
+/// Parallel-run configuration carried on RunOptions / RunRequest /
+/// SweepSpec.  Default (shards <= 1) means the plain serial kernel.
+struct ParConfig {
+  std::uint32_t shards = 1;
+  ParMode mode = ParMode::kBarrier;
+  /// Lax window width in ticks; 0 derives 4x the partition lookahead.
+  Tick slack = 0;
+
+  bool enabled() const { return shards > 1; }
+};
+
+/// Observability for a sharded run (exposed on RunResult::par, NOT in the
+/// serialized reports — barrier-mode reports must stay byte-identical to
+/// serial, so parallel-only stats ride outside them, like wall_ns).
+struct ParStats {
+  std::uint32_t shards = 1;
+  ParMode mode = ParMode::kBarrier;
+  Tick lookahead = 0;            ///< Modelled cross-shard bound (ticks).
+  Tick slack = 0;                ///< Lax window width actually used.
+  std::uint64_t windows = 0;     ///< Lax windows executed.
+  std::uint64_t cross_events = 0;   ///< Cross-lane schedules observed.
+  Tick min_cross_delta = kTickNever;  ///< Min observed (when - now) delta.
+  std::uint64_t mailboxed = 0;   ///< Lax: events routed via mailboxes.
+  std::uint64_t warped = 0;      ///< Lax: ticks warped to a window edge.
+  Tick max_warp = 0;             ///< Lax: largest single warp (ticks).
+  std::uint64_t clamped = 0;     ///< Lax: past schedules clamped to now().
+};
+
+/// Host threads each concurrent sweep job may devote to shard work when
+/// `jobs` jobs share one pool: floor division, never below 1.  The sweep
+/// runner sizes its pool with this so jobs x shards never oversubscribes
+/// the user's --jobs budget.
+std::uint32_t split_budget(std::uint32_t jobs, std::uint32_t shards);
+
+/// Runs a sharded queue to completion in lax mode.  The queue must already
+/// be sharded (set_sharding) and populated; `pool` (optional) flushes
+/// mailboxes into disjoint lanes concurrently.  Returns the run's stats.
+ParStats run_lax(sim::EventQueue& events, const ParConfig& config,
+                 Tick lookahead_ticks, runner::ThreadPool* pool);
+
+}  // namespace allarm::parallel

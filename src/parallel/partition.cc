@@ -1,0 +1,56 @@
+#include "parallel/partition.hh"
+
+#include <stdexcept>
+#include <string>
+
+#include "noc/mesh.hh"
+
+namespace allarm::parallel {
+
+std::vector<NodeId> Partition::nodes_of(std::uint32_t shard) const {
+  std::vector<NodeId> out;
+  for (std::size_t n = 0; n < owner.size(); ++n) {
+    if (owner[n] == shard) out.push_back(static_cast<NodeId>(n));
+  }
+  return out;
+}
+
+Partition make_partition(const SystemConfig& config, std::uint32_t shards) {
+  const std::uint32_t width = config.mesh_width;
+  if (shards == 0 || shards > width || width % shards != 0) {
+    throw std::invalid_argument(
+        "parallel: shard count " + std::to_string(shards) +
+        " must divide mesh width " + std::to_string(width) +
+        " (contiguous equal-width column blocks)");
+  }
+  Partition p;
+  p.shards = shards;
+  p.owner.resize(config.num_nodes());
+  const std::uint32_t cols_per_shard = width / shards;
+  for (std::uint32_t n = 0; n < config.num_nodes(); ++n) {
+    const std::uint32_t x = n % width;
+    p.owner[n] = static_cast<std::uint16_t>(x / cols_per_shard);
+  }
+  return p;
+}
+
+Tick lookahead(const SystemConfig& config, const Partition& partition) {
+  if (partition.shards <= 1) return kTickNever;
+  const noc::Mesh mesh(config);
+  Tick min_latency = kTickNever;
+  const std::uint32_t nodes = config.num_nodes();
+  for (std::uint32_t a = 0; a < nodes; ++a) {
+    for (std::uint32_t b = 0; b < nodes; ++b) {
+      if (partition.owner[a] == partition.owner[b]) continue;
+      const Tick t = mesh.uncontended_latency(static_cast<NodeId>(a),
+                                              static_cast<NodeId>(b),
+                                              config.control_msg_bytes);
+      if (t < min_latency) min_latency = t;
+    }
+  }
+  // The message is followed by at least a directory (probe-filter) access
+  // before the destination shard reacts outward again.
+  return min_latency + config.probe_filter_latency;
+}
+
+}  // namespace allarm::parallel

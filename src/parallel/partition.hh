@@ -1,0 +1,44 @@
+// Node-to-shard partitioning and conservative lookahead for the parallel
+// single-simulation engine (docs/PARALLEL.md).
+//
+// Nodes are split into contiguous mesh-column blocks: shard k owns columns
+// [k*W/S, (k+1)*W/S).  Column blocks keep every shard's nodes physically
+// adjacent on the mesh, so the minimum cross-shard distance — the quantity
+// the conservative lookahead window is derived from — is one mesh hop
+// between neighbouring columns, and vertical (intra-column) traffic never
+// crosses a shard boundary at all.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/types.hh"
+
+namespace allarm::parallel {
+
+/// A node -> shard assignment.
+struct Partition {
+  std::uint32_t shards = 1;
+  std::vector<std::uint16_t> owner;  ///< owner[node] = shard index.
+
+  /// Nodes owned by `shard` (ascending NodeId).
+  std::vector<NodeId> nodes_of(std::uint32_t shard) const;
+};
+
+/// Splits the mesh into `shards` contiguous column blocks.  Requires
+/// 1 <= shards <= mesh_width and shards | mesh_width (equal-width blocks
+/// keep the lookahead uniform); throws std::invalid_argument otherwise.
+Partition make_partition(const SystemConfig& config, std::uint32_t shards);
+
+/// Conservative lookahead window in ticks: the minimum simulated latency of
+/// any cross-shard interaction.  Every cross-shard protocol step travels the
+/// mesh (>= 1 hop between adjacent columns: link + router + one
+/// control-flit serialization) and then accesses the destination node's
+/// directory (probe-filter lookup), so an event executing at time T on one
+/// shard cannot schedule work on another shard before T + lookahead.
+/// Computed from uncontended mesh latency over all cross-shard node pairs
+/// — exact, not an estimate, because contention only ever adds latency.
+Tick lookahead(const SystemConfig& config, const Partition& partition);
+
+}  // namespace allarm::parallel

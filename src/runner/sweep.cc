@@ -220,6 +220,16 @@ std::uint64_t spec_hash(const SweepSpec& spec) {
     h.update(std::string("replay"));
     h.update(spec.replay_dir);
   }
+  // Parallel mode: barrier is byte-identical to serial at any shard count
+  // (the kernel merge preserves global (tick, seq) order), so folding it
+  // would needlessly split resume-compatible journals.  Lax changes the
+  // numbers — fold shards and slack so a lax journal can never resume a
+  // serial/barrier sweep (or a lax one with different knobs).
+  if (spec.par.enabled() && spec.par.mode == parallel::ParMode::kLax) {
+    h.update(std::string("par-lax"));
+    h.update_u32(spec.par.shards);
+    h.update_u64(spec.par.slack);
+  }
   // Fold every per-job seed: a change to the derivation scheme (or the
   // base seed) changes the hash even when the axes look identical.
   for (std::uint32_t w = 0; w < spec.workloads.size(); ++w) {
@@ -293,6 +303,7 @@ std::vector<Job> expand_jobs(const SweepSpec& spec) {
           job.request.spec = workload_spec;
           job.request.seed = job_seed(spec.base_seed, w, r);
           job.request.policy = point.policy;
+          job.request.par = spec.par;
           // Traces pair with jobs by grid index (== jobs.size() here:
           // the loops enumerate the grid in order), so a capture run's
           // directory replays positionally under the same spec.
@@ -404,7 +415,11 @@ StreamStats SweepRunner::run_streaming(const SweepSpec& spec, ResultSink& sink,
   std::condition_variable done_cv;
   std::vector<Completion> completed;
 
-  ThreadPool pool(jobs_);
+  // A par-sharded sweep splits the host thread budget between concurrent
+  // jobs and per-job shard work (parallel::split_budget): the lane merge
+  // and flush cost per job scales with shards, so jobs x shards stays
+  // within the --jobs budget instead of multiplying past it.
+  ThreadPool pool(parallel::split_budget(jobs_, spec.par.shards));
   const std::size_t window =
       options.max_outstanding > 0
           ? options.max_outstanding

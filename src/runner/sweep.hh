@@ -75,6 +75,14 @@ struct SweepSpec {
   /// name, not the trace contents — like a custom factory, trace bytes
   /// are not hashable up front; do not swap trace files between resumes).
   std::string replay_dir;
+  /// Parallel single-simulation config applied to every job
+  /// (src/parallel/, docs/PARALLEL.md).  Barrier mode is byte-identical to
+  /// the serial kernel, so it is NOT folded into spec_hash (journals stay
+  /// resume-compatible across shard counts); lax mode changes results and
+  /// is folded.  Jobs always run single-threaded relative to each other —
+  /// the sweep pool is sized with parallel::split_budget so jobs x shards
+  /// stays within the host budget.
+  parallel::ParConfig par;
 
   std::uint64_t cell_count() const {
     return static_cast<std::uint64_t>(workloads.size()) * configs.size() *

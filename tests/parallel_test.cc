@@ -1,0 +1,408 @@
+// Tests for the parallel single-simulation subsystem (src/parallel/,
+// docs/PARALLEL.md): partition geometry, lookahead derivation, the
+// byte-exact barrier contract against the serial oracle, lax-mode
+// determinism, and the lane-sharded event-queue primitives.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "core/experiment.hh"
+#include "core/system.hh"
+#include "noc/mesh.hh"
+#include "parallel/engine.hh"
+#include "parallel/partition.hh"
+#include "runner/report.hh"
+#include "runner/sweep.hh"
+#include "runner/thread_pool.hh"
+#include "sim/event_queue.hh"
+#include "workload/profiles.hh"
+
+namespace {
+
+using namespace allarm;
+
+// ---------------------------------------------------------------- fixtures ----
+
+/// A 4-node machine on a 4x1 mesh: the smallest geometry that admits 1, 2
+/// AND 4 column-block shards.  Caches shrunk so runs finish in milliseconds.
+SystemConfig wide_config() {
+  SystemConfig config;
+  config.num_cores = 4;
+  config.mesh_width = 4;
+  config.mesh_height = 1;
+  config.l1i = CacheConfig{4 * kLineBytes, 2, ticks_from_ns(1.0)};
+  config.l1d = CacheConfig{4 * kLineBytes, 2, ticks_from_ns(1.0)};
+  config.l2 = CacheConfig{16 * kLineBytes, 2, ticks_from_ns(1.0)};
+  config.probe_filter_coverage_bytes = 32 * kLineBytes;
+  return config;
+}
+
+workload::WorkloadSpec small_workload(const std::string& name,
+                                      const SystemConfig& config,
+                                      std::uint64_t accesses) {
+  workload::ProfileParams params;
+  params.name = name;
+  params.hot_bytes = 8 * 1024;
+  params.cold_bytes = 8 * 1024;
+  params.kernel_bytes = 32 * 1024;
+  params.shared_bytes = 16 * 1024;
+  params.pattern = name == "alpha" ? workload::SharedPattern::kUniform
+                                   : workload::SharedPattern::kZipf;
+  return workload::make_from_params(params, config, accesses, 4);
+}
+
+core::RunResult run_wide(std::uint32_t shards, parallel::ParMode mode,
+                         Tick migration_interval = 0,
+                         runner::ThreadPool* par_pool = nullptr) {
+  core::System system(wide_config());
+  core::RunOptions options;
+  options.seed = 42;
+  options.par.shards = shards;
+  options.par.mode = mode;
+  options.par_pool = par_pool;
+  options.migration_interval = migration_interval;
+  const workload::WorkloadSpec spec =
+      small_workload("alpha", wide_config(), 300);
+  return system.run(spec, options);
+}
+
+// --------------------------------------------------------------- partition ----
+
+TEST(Partition, ContiguousColumnBlocks) {
+  SystemConfig config;  // Table I: 4x4 mesh, 16 nodes.
+  const parallel::Partition half = parallel::make_partition(config, 2);
+  ASSERT_EQ(half.owner.size(), 16u);
+  for (std::uint32_t n = 0; n < 16; ++n) {
+    EXPECT_EQ(half.owner[n], (n % 4) / 2) << "node " << n;
+  }
+  EXPECT_EQ(half.nodes_of(0).size(), 8u);
+  EXPECT_EQ(half.nodes_of(1).size(), 8u);
+
+  const parallel::Partition quarters = parallel::make_partition(config, 4);
+  for (std::uint32_t n = 0; n < 16; ++n) {
+    EXPECT_EQ(quarters.owner[n], n % 4) << "node " << n;  // Shard = column.
+  }
+
+  const parallel::Partition trivial = parallel::make_partition(config, 1);
+  EXPECT_EQ(trivial.shards, 1u);
+  EXPECT_EQ(trivial.nodes_of(0).size(), 16u);
+}
+
+TEST(Partition, RejectsNonDividingShardCounts) {
+  SystemConfig config;  // Width 4.
+  EXPECT_THROW(parallel::make_partition(config, 0), std::invalid_argument);
+  EXPECT_THROW(parallel::make_partition(config, 3), std::invalid_argument);
+  EXPECT_THROW(parallel::make_partition(config, 8), std::invalid_argument);
+}
+
+TEST(Partition, LookaheadIsTheMinCrossShardHopPlusDirectoryAccess) {
+  SystemConfig config;
+  const parallel::Partition part = parallel::make_partition(config, 2);
+  const noc::Mesh mesh(config);
+  // Adjacent columns across the shard boundary (x=1 -> x=2, same row) are
+  // the closest cross-shard pair on a contiguous column partition.
+  const Tick hop = mesh.uncontended_latency(NodeId{1}, NodeId{2},
+                                            config.control_msg_bytes);
+  EXPECT_EQ(parallel::lookahead(config, part),
+            hop + config.probe_filter_latency);
+  EXPECT_EQ(parallel::lookahead(config, parallel::make_partition(config, 1)),
+            kTickNever);
+}
+
+TEST(SplitBudget, SplitsJobsAcrossShards) {
+  EXPECT_EQ(parallel::split_budget(8, 1), 8u);   // Serial: untouched.
+  EXPECT_EQ(parallel::split_budget(8, 4), 2u);
+  EXPECT_EQ(parallel::split_budget(8, 2), 4u);
+  EXPECT_EQ(parallel::split_budget(4, 8), 1u);   // Never below one job.
+  EXPECT_EQ(parallel::split_budget(1, 4), 1u);
+}
+
+TEST(ParMode, RoundTripsAndRejectsUnknownNames) {
+  EXPECT_EQ(parallel::par_mode_from_string("barrier"),
+            parallel::ParMode::kBarrier);
+  EXPECT_EQ(parallel::par_mode_from_string("lax"), parallel::ParMode::kLax);
+  EXPECT_EQ(parallel::to_string(parallel::ParMode::kBarrier), "barrier");
+  EXPECT_EQ(parallel::to_string(parallel::ParMode::kLax), "lax");
+  EXPECT_THROW(parallel::par_mode_from_string("optimistic"),
+               std::invalid_argument);
+}
+
+// ----------------------------------------------------- barrier byte-exact ----
+
+TEST(BarrierMode, ReproducesSerialStatsAtAnyShardCount) {
+  const core::RunResult serial = run_wide(1, parallel::ParMode::kBarrier);
+  for (const std::uint32_t shards : {2u, 4u}) {
+    const core::RunResult sharded =
+        run_wide(shards, parallel::ParMode::kBarrier);
+    // The FULL statistic set, byte for byte — including sim.events, which
+    // pins the executed event count exactly.
+    EXPECT_EQ(sharded.stats.to_string(), serial.stats.to_string())
+        << shards << " shards";
+    EXPECT_EQ(sharded.runtime, serial.runtime) << shards << " shards";
+    EXPECT_EQ(sharded.stats.get("sim.events"), serial.stats.get("sim.events"));
+    // Execution metadata lives beside the stats, never inside them.
+    EXPECT_EQ(sharded.par.shards, shards);
+    EXPECT_EQ(sharded.par.mode, parallel::ParMode::kBarrier);
+    EXPECT_GT(sharded.par.cross_events, 0u);
+  }
+}
+
+TEST(BarrierMode, SurvivesThreadMigrationHandoff) {
+  const Tick interval = ticks_from_ns(1000.0);
+  const core::RunResult serial =
+      run_wide(1, parallel::ParMode::kBarrier, interval);
+  const core::RunResult sharded =
+      run_wide(4, parallel::ParMode::kBarrier, interval);
+  EXPECT_EQ(sharded.stats.to_string(), serial.stats.to_string());
+  EXPECT_EQ(sharded.runtime, serial.runtime);
+}
+
+TEST(BarrierMode, CrossShardDeltasRespectTheMeshBound) {
+  const core::RunResult run = run_wide(4, parallel::ParMode::kBarrier);
+  const SystemConfig config = wide_config();
+  const parallel::Partition part = parallel::make_partition(config, 4);
+  ASSERT_GT(run.par.cross_events, 0u);
+  // Every cross-shard schedule rides at least one mesh hop; the modelled
+  // lookahead additionally charges the directory access the DESTINATION
+  // performs before reacting outward, so the raw per-schedule delta is
+  // bounded by lookahead minus that access.
+  EXPECT_GE(run.par.min_cross_delta,
+            parallel::lookahead(config, part) - config.probe_filter_latency);
+  EXPECT_EQ(run.par.lookahead, parallel::lookahead(config, part));
+}
+
+// Sweep-level contract: the REPORT BYTES (JSON and CSV) of a barrier-mode
+// sweep are identical to the serial sweep's, on both a fig3-style grid
+// (baseline + allarm) and a region-style grid (three modes, region-size
+// config axis).
+TEST(BarrierMode, SweepReportsAreByteIdentical_Fig3StyleGrid) {
+  runner::SweepSpec spec;
+  spec.name = "par-fig3";
+  spec.workloads = {"alpha", "beta"};
+  spec.configs = {{"wide", wide_config()}};
+  spec.modes = {DirectoryMode::kBaseline, DirectoryMode::kAllarm};
+  spec.replicates = 2;
+  spec.base_seed = 7;
+  spec.accesses_per_thread = 200;
+  spec.make_workload = small_workload;
+
+  const runner::SweepResult serial = runner::SweepRunner(2).run(spec);
+  for (const std::uint32_t shards : {2u, 4u}) {
+    runner::SweepSpec sharded = spec;
+    sharded.par.shards = shards;
+    const runner::SweepResult result = runner::SweepRunner(2).run(sharded);
+    EXPECT_EQ(runner::to_json(result), runner::to_json(serial))
+        << shards << " shards";
+    EXPECT_EQ(runner::to_csv(result), runner::to_csv(serial))
+        << shards << " shards";
+  }
+}
+
+TEST(BarrierMode, SweepReportsAreByteIdentical_RegionStyleGrid) {
+  runner::SweepSpec spec;
+  spec.name = "par-region";
+  spec.workloads = {"alpha"};
+  SystemConfig coarse = wide_config();
+  coarse.region_size_bytes = 1024;
+  SystemConfig fine = wide_config();
+  fine.region_size_bytes = 64;  // Degenerates to per-line tracking.
+  spec.configs = {{"r1024", coarse}, {"r64", fine}};
+  spec.modes = {DirectoryMode::kBaseline, DirectoryMode::kAllarm,
+                DirectoryMode::kRegion};
+  spec.base_seed = 11;
+  spec.accesses_per_thread = 200;
+  spec.make_workload = small_workload;
+
+  const runner::SweepResult serial = runner::SweepRunner(2).run(spec);
+  runner::SweepSpec sharded = spec;
+  sharded.par.shards = 4;
+  const runner::SweepResult result = runner::SweepRunner(2).run(sharded);
+  EXPECT_EQ(runner::to_json(result), runner::to_json(serial));
+  EXPECT_EQ(runner::to_csv(result), runner::to_csv(serial));
+}
+
+TEST(BarrierMode, DoesNotPerturbTheSweepSpecHash) {
+  runner::SweepSpec spec;
+  spec.name = "hash";
+  spec.workloads = {"alpha"};
+  spec.configs = {{"wide", wide_config()}};
+  spec.modes = {DirectoryMode::kBaseline};
+  const std::uint64_t serial_hash = runner::spec_hash(spec);
+
+  spec.par.shards = 4;  // Barrier: byte-identical, journals stay resumable.
+  EXPECT_EQ(runner::spec_hash(spec), serial_hash);
+
+  spec.par.mode = parallel::ParMode::kLax;  // Lax: different results.
+  const std::uint64_t lax_hash = runner::spec_hash(spec);
+  EXPECT_NE(lax_hash, serial_hash);
+  spec.par.slack = ticks_from_ns(100.0);  // ...and the knobs are identity.
+  EXPECT_NE(runner::spec_hash(spec), lax_hash);
+}
+
+// ------------------------------------------------------------------- lax ----
+
+TEST(LaxMode, IsDeterministicRunToRun) {
+  const core::RunResult first = run_wide(4, parallel::ParMode::kLax);
+  const core::RunResult second = run_wide(4, parallel::ParMode::kLax);
+  EXPECT_EQ(first.stats.to_string(), second.stats.to_string());
+  EXPECT_EQ(first.runtime, second.runtime);
+  EXPECT_EQ(first.par.windows, second.par.windows);
+  EXPECT_EQ(first.par.mailboxed, second.par.mailboxed);
+  EXPECT_EQ(first.par.warped, second.par.warped);
+
+  EXPECT_EQ(first.par.mode, parallel::ParMode::kLax);
+  EXPECT_GT(first.par.windows, 0u);
+  EXPECT_GT(first.par.slack, 0u);
+  EXPECT_GT(first.stats.get("sim.events"), 0.0);
+}
+
+TEST(LaxMode, FlushPoolDoesNotChangeResults) {
+  // Mailbox flushes into disjoint lanes may run on a pool; the result must
+  // not depend on whether (or how wide) one is supplied — this is the
+  // sweep-vs-shard contention case: a pool-driven run and an inline run
+  // interleave flushes differently but deliver identical event sets.
+  const core::RunResult inline_flush = run_wide(4, parallel::ParMode::kLax);
+  runner::ThreadPool pool(3);
+  const core::RunResult pooled =
+      run_wide(4, parallel::ParMode::kLax, 0, &pool);
+  EXPECT_EQ(pooled.stats.to_string(), inline_flush.stats.to_string());
+  EXPECT_EQ(pooled.runtime, inline_flush.runtime);
+  EXPECT_EQ(pooled.par.windows, inline_flush.par.windows);
+  pool.wait_idle();
+}
+
+TEST(LaxMode, RequiresAShardedQueue) {
+  sim::EventQueue queue;
+  parallel::ParConfig config;
+  config.shards = 2;
+  config.mode = parallel::ParMode::kLax;
+  EXPECT_THROW(parallel::run_lax(queue, config, 100, nullptr),
+               std::logic_error);
+}
+
+// ----------------------------------------------------------- event kernel ----
+
+TEST(ShardedEventQueue, MergesLanesInGlobalTickSeqOrder) {
+  // Same schedule, one serial queue and one 2-lane queue; execution order
+  // (and therefore the order log) must match exactly.  Events also chain
+  // follow-ups onto the *other* lane to exercise in-execution cross-lane
+  // scheduling.
+  auto run_chain = [](sim::EventQueue& q, std::vector<int>& log) {
+    for (int i = 0; i < 8; ++i) {
+      const NodeId node = static_cast<NodeId>(i % 2);
+      const Tick when = 10 * (8 - i);
+      q.schedule_at_for(node, when, [&log, &q, i, node] {
+        log.push_back(i);
+        const NodeId other = static_cast<NodeId>(1 - node);
+        q.schedule_at_for(other, q.now() + 5, [&log, i] {
+          log.push_back(100 + i);
+        });
+      });
+    }
+    q.run();
+  };
+
+  sim::EventQueue serial;
+  std::vector<int> serial_log;
+  run_chain(serial, serial_log);
+
+  sim::EventQueue sharded;
+  sharded.set_sharding(2, {0, 1});
+  std::vector<int> sharded_log;
+  run_chain(sharded, sharded_log);
+
+  EXPECT_EQ(sharded_log, serial_log);
+  EXPECT_EQ(sharded.events_executed(), serial.events_executed());
+  EXPECT_EQ(sharded.now(), serial.now());
+}
+
+TEST(ShardedEventQueue, SetShardingErrorCases) {
+  {
+    sim::EventQueue q;
+    q.schedule_at(5, [] {});
+    EXPECT_THROW(q.set_sharding(2, {0, 1}), std::logic_error);  // Pending.
+  }
+  {
+    sim::EventQueue q;
+    q.schedule_at(0, [] {});
+    q.run_one();
+    EXPECT_THROW(q.set_sharding(2, {0, 1}), std::logic_error);  // Executed.
+  }
+  {
+    sim::EventQueue q;
+    EXPECT_THROW(q.set_sharding(0, {}), std::logic_error);      // No lanes.
+    EXPECT_THROW(q.set_sharding(2, {0, 2}), std::logic_error);  // Bad owner.
+  }
+}
+
+TEST(ShardedEventQueue, InjectRestoresSeqOrderWithinATick) {
+  sim::EventQueue q;
+  q.set_sharding(2, {0, 1});
+
+  // Divert one cross-lane schedule into a mailbox (seq 0)...
+  struct Box {
+    Tick when = 0;
+    std::uint64_t seq = 0;
+    sim::Event event;
+    bool full = false;
+  } box;
+  q.set_cross_lane_hook(
+      [](void* ctx, std::uint32_t, std::uint32_t, Tick when, std::uint64_t seq,
+         sim::Event&& e) {
+        Box& b = *static_cast<Box*>(ctx);
+        b = Box{when, seq, std::move(e), true};
+      },
+      &box);
+  std::vector<char> log;
+  q.schedule_at_for(1, 10, [&log] { log.push_back('Y'); });
+  ASSERT_TRUE(box.full);
+  ASSERT_EQ(box.seq, 0u);
+
+  // ...then insert a later-seq event at the same tick directly, and inject
+  // the mailboxed one afterwards.  The ordered insert must put Y before Z.
+  q.set_cross_lane_hook(nullptr, nullptr);
+  q.schedule_at_for(1, 10, [&log] { log.push_back('Z'); });
+  q.inject(1, box.when, box.seq, std::move(box.event));
+
+  q.run();
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[0], 'Y');
+  EXPECT_EQ(log[1], 'Z');
+}
+
+TEST(ShardedEventQueue, CountsCrossLaneTrafficOnlyDuringExecution) {
+  sim::EventQueue q;
+  q.set_sharding(2, {0, 1});
+  // Set-up schedules (nothing executing yet) deliver cross-lane but are
+  // not counted: no lookahead constrains them.
+  q.schedule_at_for(1, 2, [] {});
+  EXPECT_EQ(q.cross_lane_stats().events, 0u);
+  // In-execution schedules count, with the (when - now) delta recorded.
+  q.schedule_at_for(0, 5, [&q] {
+    q.schedule_at_for(0, q.now() + 1, [] {});  // Same lane: not counted.
+    q.schedule_at_for(1, q.now() + 4, [] {});  // Cross lane: counted.
+  });
+  q.run();
+  EXPECT_EQ(q.cross_lane_stats().events, 1u);
+  EXPECT_EQ(q.cross_lane_stats().min_delta, 4u);
+}
+
+TEST(ShardedEventQueue, RunLaneUntilDrainsOnlyThatLane) {
+  sim::EventQueue q;
+  q.set_sharding(2, {0, 1});
+  std::vector<int> log;
+  q.schedule_at_for(0, 5, [&log] { log.push_back(0); });
+  q.schedule_at_for(1, 3, [&log] { log.push_back(1); });
+  q.run_lane_until(0, 100);  // Lane 1's earlier event must NOT run.
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0], 0);
+  q.run();
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[1], 1);
+}
+
+}  // namespace

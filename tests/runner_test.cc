@@ -5,6 +5,7 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <mutex>
 #include <set>
 #include <thread>
 
@@ -114,6 +115,62 @@ TEST(ThreadPool, KeepsOnlyTheFirstOfManyErrors) {
     FAIL() << "worker exceptions were not rethrown";
   } catch (const std::runtime_error& e) {
     EXPECT_STREQ(e.what(), "error 0");
+  }
+}
+
+TEST(ThreadPool, NestedPoolsDrainIndependently) {
+  // The shard+sweep contention shape: sweep-pool workers each drive their
+  // own flush pool (parallel::run_lax does exactly this with
+  // RunOptions::par_pool).  Waiting on the inner pool from an outer worker
+  // must not deadlock, and every subtask must run.
+  runner::ThreadPool outer(2);
+  std::atomic<int> subtasks{0};
+  for (int job = 0; job < 4; ++job) {
+    outer.submit([&subtasks] {
+      runner::ThreadPool inner(2);
+      for (int i = 0; i < 3; ++i) inner.submit([&subtasks] { ++subtasks; });
+      inner.wait_idle();
+    });
+  }
+  outer.wait_idle();
+  EXPECT_EQ(subtasks.load(), 12);
+}
+
+TEST(ThreadPool, SharedInnerPoolUnderOuterContention) {
+  // Several outer workers submitting to ONE shared inner pool (the budget
+  // split makes this jobs x shards <= --jobs): counts must come out exact
+  // and wait_idle on the outer pool must observe all inner completions
+  // that its own tasks waited for.
+  runner::ThreadPool outer(3);
+  runner::ThreadPool shared_inner(2);
+  std::atomic<int> done{0};
+  std::mutex inner_wait;  // wait_idle is pool-global; serialize the waiters.
+  for (int job = 0; job < 6; ++job) {
+    outer.submit([&shared_inner, &done, &inner_wait] {
+      std::lock_guard<std::mutex> lock(inner_wait);
+      for (int i = 0; i < 4; ++i) shared_inner.submit([&done] { ++done; });
+      shared_inner.wait_idle();
+    });
+  }
+  outer.wait_idle();
+  EXPECT_EQ(done.load(), 24);
+}
+
+TEST(ThreadPool, NestedExceptionPropagatesThroughBothPools) {
+  // An inner-pool failure surfaces at the inner wait_idle (inside the outer
+  // task), leaks from that task, and resurfaces at the OUTER wait_idle —
+  // the path a lax flush error would take through a sweep job.
+  runner::ThreadPool outer(2);
+  outer.submit([] {
+    runner::ThreadPool inner(2);
+    inner.submit([] { throw std::runtime_error("flush failed"); });
+    inner.wait_idle();  // Rethrows; escapes this outer task.
+  });
+  try {
+    outer.wait_idle();
+    FAIL() << "nested exception was not rethrown";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "flush failed");
   }
 }
 
