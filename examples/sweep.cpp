@@ -26,9 +26,22 @@
 //                        so the sweep survives interruption
 //   --resume             resume from --journal: already-journaled jobs are
 //                        not re-run, their results replay from disk
+//   --resume-cells       per-cell incremental resume: like --resume, but a
+//                        journal from an EDITED spec is rebound instead of
+//                        refused — only cells whose config/seed identity
+//                        changed re-run; unchanged cells replay from disk.
+//                        Creates the journal when missing (one flag serves
+//                        first run and re-run).  Unsharded sweeps only
 //   --shard K/N          run only shard K of N (1-based; cells partition
 //                        round-robin).  Requires --journal so the shards
 //                        can be merged later
+//   --cost-from FILE     with --shard: plan the cell partition from the
+//                        measured per-job wall_ns in journal FILE (a prior
+//                        run or --timing pass of the same grid shape)
+//                        instead of round-robin, so slow cells spread
+//                        across shards.  Every shard of one sweep must use
+//                        the same FILE; reports are byte-identical either
+//                        way (the plan only moves work, never results)
 //   --merge FILE         merge mode: fold the given shard journal instead
 //                        of running anything (repeat per shard).  Produces
 //                        byte-identical output to a single-machine run
@@ -101,6 +114,7 @@
 #include "common/fileio.hh"
 #include "core/experiment.hh"
 #include "parallel/partition.hh"
+#include "runner/grids.hh"
 #include "runner/report.hh"
 #include "runner/sink.hh"
 #include "runner/sweep.hh"
@@ -121,6 +135,8 @@ struct Options {
   std::string csv;
   std::string journal;
   bool resume = false;
+  bool resume_cells = false;
+  std::string cost_from;
   runner::ShardSpec shard;
   std::vector<std::string> merge;
   std::size_t window = 0;
@@ -141,7 +157,8 @@ struct Options {
   std::cout <<
       "usage: sweep --grid fig3|fig3h|policy|region|quick|trace [--jobs N]\n"
       "             [--seeds K] [--accesses N] [--seed N] [--out FILE]\n"
-      "             [--csv FILE] [--journal FILE [--resume]] [--shard K/N]\n"
+      "             [--csv FILE] [--journal FILE [--resume|--resume-cells]]\n"
+      "             [--shard K/N [--cost-from FILE]]\n"
       "             [--merge FILE]... [--window N] [--timing]\n"
       "             [--capture DIR] [--replay DIR]\n"
       "             [--trace FILE]... [--cores LIST] [--list]\n"
@@ -206,60 +223,26 @@ void ensure_directory(const std::string& path) {
 
 runner::SweepSpec make_grid(const Options& options) {
   runner::SweepSpec spec;
-  spec.name = options.grid;
-  spec.workloads = workload::benchmark_names();
-  spec.modes = {DirectoryMode::kBaseline, DirectoryMode::kAllarm};
-  spec.replicates = options.seeds;
-  spec.base_seed = options.seed;
-
-  SystemConfig config;
-  if (options.grid == "fig3") {
-    spec.accesses_per_thread = core::bench_accesses(30000);
-    spec.configs = {{"table1", config}};
-  } else if (options.grid == "fig3h") {
-    spec.accesses_per_thread = core::bench_accesses(20000);
-    for (const std::uint32_t kb : {512u, 256u, 128u}) {
-      SystemConfig c = config;
-      c.probe_filter_coverage_bytes = kb * 1024;
-      spec.configs.push_back({std::to_string(kb) + "kB", c});
-    }
-  } else if (options.grid == "policy") {
-    spec.accesses_per_thread = core::bench_accesses(20000);
-    spec.configs = {{"first-touch", config, numa::AllocPolicy::kFirstTouch},
-                    {"interleave", config, numa::AllocPolicy::kInterleave}};
-  } else if (options.grid == "region") {
-    // Region-granularity ablation: scheme x region size x workload.  The
-    // 64 B point degenerates to per-block tracking, so its region rows
-    // must match the baseline rows cell for cell (the correctness oracle;
-    // see docs/DIRECTORY.md).
-    spec.accesses_per_thread = core::bench_accesses(20000);
-    spec.modes = {DirectoryMode::kBaseline, DirectoryMode::kAllarm,
-                  DirectoryMode::kRegion};
-    for (const std::uint32_t bytes : {4096u, 1024u, 256u, 64u}) {
-      SystemConfig c = config;
-      c.region_size_bytes = bytes;
-      spec.configs.push_back({"r" + std::to_string(bytes), c});
-    }
-  } else if (options.grid == "quick") {
-    spec.accesses_per_thread = core::bench_accesses(2000);
-    spec.workloads = {"barnes", "ocean-cont"};
-    spec.configs = {{"table1", config}};
-  } else if (options.grid == "trace") {
+  if (options.grid == "trace") {
     if (options.traces.empty()) {
       std::cerr << "--grid trace requires at least one --trace FILE\n";
       usage(2);
     }
+    SystemConfig config;
+    spec.name = options.grid;
+    spec.replicates = options.seeds;
+    spec.base_seed = options.seed;
     // Trace lengths are fixed by the files; the accesses knob does not
     // apply (and stays out of the report's meaning).
     spec.accesses_per_thread = 0;
     std::vector<std::uint32_t> cores = options.cores;
     if (cores.empty()) cores = {config.num_cores};
-    spec.workloads.clear();
     for (const std::string& path : options.traces) {
       for (const std::uint32_t c : cores) {
         spec.workloads.push_back(trace_label(path, c));
       }
     }
+    spec.modes = {DirectoryMode::kBaseline, DirectoryMode::kAllarm};
     spec.configs = {{"first-touch", config, numa::AllocPolicy::kFirstTouch},
                     {"interleave", config, numa::AllocPolicy::kInterleave}};
     const auto readers = std::make_shared<TraceReaderCache>();
@@ -269,11 +252,18 @@ runner::SweepSpec make_grid(const Options& options) {
       return make_trace_workload_for_label(label, grid_config, *readers);
     };
   } else {
-    std::cerr << "unknown grid '" << options.grid << "'\n";
-    usage(2);
-  }
-  if (options.accesses > 0 && options.grid != "trace") {
-    spec.accesses_per_thread = options.accesses;
+    // The built-in grids live in the library (runner/grids.hh) so the
+    // sweep service builds the same specs from spool requests.
+    runner::GridKnobs knobs;
+    knobs.seeds = options.seeds;
+    knobs.base_seed = options.seed;
+    knobs.accesses = options.accesses;
+    try {
+      spec = runner::make_builtin_grid(options.grid, knobs);
+    } catch (const std::invalid_argument& e) {
+      std::cerr << e.what() << "\n";
+      usage(2);
+    }
   }
   // Fail fast on an impossible partition (shards must divide the mesh
   // width) instead of surfacing it as N identical per-job failures.
@@ -343,6 +333,10 @@ Options parse(int argc, char** argv) {
       options.journal = value(i);
     } else if (std::strcmp(arg, "--resume") == 0) {
       options.resume = true;
+    } else if (std::strcmp(arg, "--resume-cells") == 0) {
+      options.resume_cells = true;
+    } else if (std::strcmp(arg, "--cost-from") == 0) {
+      options.cost_from = value(i);
     } else if (std::strcmp(arg, "--shard") == 0) {
       options.shard = parse_shard(value(i));
     } else if (std::strcmp(arg, "--merge") == 0) {
@@ -429,8 +423,23 @@ Options parse(int argc, char** argv) {
     std::cerr << "--seeds must be positive\n";
     usage(2);
   }
-  if (options.resume && options.journal.empty()) {
-    std::cerr << "--resume requires --journal\n";
+  if ((options.resume || options.resume_cells) && options.journal.empty()) {
+    std::cerr << "--resume/--resume-cells require --journal\n";
+    usage(2);
+  }
+  if (options.resume && options.resume_cells) {
+    std::cerr << "--resume and --resume-cells are different recovery modes; "
+                 "pick one\n";
+    usage(2);
+  }
+  if (options.resume_cells && options.shard.count > 1) {
+    std::cerr << "--resume-cells applies to unsharded sweeps (stale records "
+                 "would strand in other shards' journals)\n";
+    usage(2);
+  }
+  if (!options.cost_from.empty() && options.shard.count <= 1) {
+    std::cerr << "--cost-from plans a --shard partition; it needs --shard "
+                 "K/N with N > 1\n";
     usage(2);
   }
   if (options.shard.count > 1 && options.journal.empty() &&
@@ -448,11 +457,12 @@ Options parse(int argc, char** argv) {
     std::cerr << "--capture and --replay are mutually exclusive\n";
     usage(2);
   }
-  if (!options.capture_dir.empty() && options.resume) {
+  if (!options.capture_dir.empty() &&
+      (options.resume || options.resume_cells)) {
     // Jobs replayed from the journal never execute, so their traces would
     // silently be missing (or torn) from the capture directory.
     std::cerr << "--capture needs a full fresh run; it cannot be combined "
-                 "with --resume\n";
+                 "with --resume/--resume-cells\n";
     usage(2);
   }
   if ((!options.capture_dir.empty() || !options.replay_dir.empty()) &&
@@ -473,68 +483,15 @@ Options parse(int argc, char** argv) {
   return options;
 }
 
-/// The report pipeline: streaming JSON to --out (or stdout) and optionally
-/// streaming CSV to --csv, fanned out through one TeeSink.  File reports
-/// stream into `<path>.tmp` and rename into place only on success, so a
-/// failed run (bad merge, full disk, mid-sweep error) never destroys a
-/// pre-existing good report.
-struct ReportSinks {
-  std::ofstream out_file;
-  std::ofstream csv_file;
-  std::unique_ptr<runner::JsonStreamSink> json;
-  std::unique_ptr<runner::CsvStreamSink> csv;
-  std::vector<runner::ResultSink*> all;
-  runner::TeeSink tee{{}};
-
-  static std::ofstream open_tmp(const std::string& path) {
-    std::ofstream file(path + ".tmp", std::ios::binary | std::ios::trunc);
-    if (!file) {
-      throw std::runtime_error("cannot open " + path + ".tmp for writing");
-    }
-    return file;
-  }
-
-  explicit ReportSinks(const Options& options) {
-    if (options.out.empty()) {
-      json = std::make_unique<runner::JsonStreamSink>(std::cout, "stdout");
-    } else {
-      out_file = open_tmp(options.out);
-      json = std::make_unique<runner::JsonStreamSink>(out_file, options.out);
-    }
-    json->set_include_timing(options.timing);
-    all.push_back(json.get());
-    if (!options.csv.empty()) {
-      csv_file = open_tmp(options.csv);
-      csv = std::make_unique<runner::CsvStreamSink>(csv_file, options.csv);
-      all.push_back(csv.get());
-    }
-    tee = runner::TeeSink(all);
-  }
-
-  static void close_and_rename(std::ofstream& file, const std::string& path) {
-    file.close();
-    if (!file) throw std::runtime_error("failed closing " + path + ".tmp");
-    {
-      // fsync before the rename: without it, a power loss after the
-      // rename could replace a good previous report with a partial one.
-      allarm::File tmp(path + ".tmp", allarm::File::Mode::kReadWrite);
-      tmp.sync();
-      tmp.close();
-    }
-    if (std::rename((path + ".tmp").c_str(), path.c_str()) != 0) {
-      throw std::runtime_error("failed renaming " + path + ".tmp into place");
-    }
-    std::cerr << "wrote " << path << "\n";
-  }
-
-  /// Publishes the temp files.  Only called on success; on failure the
-  /// target paths keep their previous contents (exit is nonzero either
-  /// way — never a silently truncated report).
-  void finish(const Options& options) {
-    if (out_file.is_open()) close_and_rename(out_file, options.out);
-    if (csv_file.is_open()) close_and_rename(csv_file, options.csv);
-  }
-};
+/// Publishes the report temp files and narrates where they went.  Only
+/// called on success; on failure the target paths keep their previous
+/// contents (exit is nonzero either way — never a silently truncated
+/// report).  The tmp+fsync+rename pipeline itself is runner::ReportFiles.
+void finish_reports(runner::ReportFiles& reports, const Options& options) {
+  reports.commit();
+  if (!options.out.empty()) std::cerr << "wrote " << options.out << "\n";
+  if (!options.csv.empty()) std::cerr << "wrote " << options.csv << "\n";
+}
 
 }  // namespace
 
@@ -551,14 +508,14 @@ int main(int argc, char** argv) try {
   if (!options.capture_dir.empty()) ensure_directory(options.capture_dir);
   const runner::SweepSpec spec = make_grid(options);
 
-  ReportSinks sinks(options);
+  runner::ReportFiles reports(options.out, options.csv, options.timing);
 
   if (!options.merge.empty()) {
     std::cerr << "merging " << options.merge.size() << " journal(s) of sweep '"
               << spec.name << "'\n";
     const runner::StreamStats stats =
-        runner::merge_journals(spec, options.merge, sinks.tee);
-    sinks.finish(options);
+        runner::merge_journals(spec, options.merge, reports.sink());
+    finish_reports(reports, options);
     std::cerr << "merged " << stats.jobs_total << " jobs into "
               << stats.cells_emitted << " cells in " << stats.wall_seconds
               << " s";
@@ -574,7 +531,18 @@ int main(int argc, char** argv) try {
   runner::StreamOptions stream;
   stream.journal_path = options.journal;
   stream.resume = options.resume;
+  stream.resume_cells = options.resume_cells;
   stream.shard = options.shard;
+  if (!options.cost_from.empty()) {
+    // Cost-aware partition: plan_shards is deterministic, so every shard
+    // of the sweep derives the identical assignment from the same journal.
+    const std::vector<double> costs =
+        runner::cell_costs_from_journal(spec, options.cost_from);
+    stream.shard.assignment = runner::plan_shards(costs, options.shard.count);
+    std::cerr << "planned " << costs.size() << " cells across "
+              << options.shard.count << " shards from measured costs in "
+              << options.cost_from << "\n";
+  }
   stream.max_outstanding = options.window;
   stream.cell_retries = options.cell_retries;
   stream.retry_backoff_ms = options.cell_backoff_ms;
@@ -586,7 +554,7 @@ int main(int argc, char** argv) try {
   // resume smoke's kill threshold), not the full grid.
   std::uint64_t owned_cells = 0;
   for (std::uint64_t cell = 0; cell < spec.cell_count(); ++cell) {
-    if (options.shard.owns_cell(cell)) ++owned_cells;
+    if (stream.shard.owns_cell(cell)) ++owned_cells;
   }
   std::cerr << "sweep '" << spec.name << "': "
             << owned_cells * spec.replicates << " jobs";
@@ -598,8 +566,8 @@ int main(int argc, char** argv) try {
   std::cerr << " on " << sweep_runner.jobs() << " workers\n";
 
   const runner::StreamStats stats =
-      sweep_runner.run_streaming(spec, sinks.tee, stream);
-  sinks.finish(options);
+      sweep_runner.run_streaming(spec, reports.sink(), stream);
+  finish_reports(reports, options);
 
   std::cerr << "done in " << stats.wall_seconds << " s: "
             << stats.jobs_executed << " jobs run";

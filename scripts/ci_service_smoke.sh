@@ -1,0 +1,123 @@
+#!/usr/bin/env bash
+# CI smoke for the crash-safe sweep service (also runs fine locally):
+#
+#  1. baseline       - direct CLI sweeps of the request grids (reference
+#                      bytes for everything below);
+#  2. batch          - enqueue two requests, run the service to idle:
+#                      exit 0, both done, reports byte-identical to the
+#                      direct sweeps, CSV written where asked, health
+#                      file present;
+#  3. SIGKILL        - kill -9 the service mid-sweep, restart it: the
+#                      interrupted request resumes through its journal
+#                      and the recovered report matches the reference
+#                      bytes exactly;
+#  4. SIGTERM drain  - the running service drains gracefully: exit 0,
+#                      in-flight work journaled, state still `running`,
+#                      no torn state files; the next start completes it
+#                      byte-identically;
+#  5. reject         - a malformed request is rejected with its reason
+#                      recorded and the service exits 3 (degraded);
+#  6. failpoint      - an injected queue-scan fault heals on the next
+#                      poll without losing the request.
+#
+# Usage: scripts/ci_service_smoke.sh [path-to-allarm_serve] [path-to-sweep]
+set -euo pipefail
+
+SERVE=${1:-./build/allarm_serve}
+SWEEP=${2:-./build/sweep}
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+REQ_A='{"grid": "quick", "seeds": 2, "seed": 42, "accesses": 400, "csv": true}'
+REQ_B='{"grid": "quick", "seeds": 2, "seed": 43, "accesses": 400}'
+
+echo "== 1/6 baseline (direct CLI sweeps) =="
+"$SWEEP" --grid quick --seeds 2 --seed 42 --accesses 400 \
+    --out "$WORK/ref-a.json" --csv "$WORK/ref-a.csv"
+"$SWEEP" --grid quick --seeds 2 --seed 43 --accesses 400 \
+    --out "$WORK/ref-b.json"
+echo "OK: references written"
+
+echo "== 2/6 batch: enqueue two requests, run to idle =="
+SPOOL="$WORK/spool-batch"
+printf '%s' "$REQ_A" > "$WORK/req-a.json"
+printf '%s' "$REQ_B" > "$WORK/req-b.json"
+"$SERVE" --root "$SPOOL" --enqueue "$WORK/req-a.json" --as alpha
+"$SERVE" --root "$SPOOL" --enqueue "$WORK/req-b.json" --as beta
+"$SERVE" --root "$SPOOL" --exit-when-idle --workers 2 --max-active 2 --poll-ms 50
+for ID in alpha beta; do
+    [ "$(cat "$SPOOL/requests/$ID/state")" = "done" ] \
+        || { echo "FAIL: $ID not done"; exit 1; }
+done
+cmp "$SPOOL/requests/alpha/report.json" "$WORK/ref-a.json"
+cmp "$SPOOL/requests/alpha/report.csv" "$WORK/ref-a.csv"
+cmp "$SPOOL/requests/beta/report.json" "$WORK/ref-b.json"
+grep -q '"done":2' "$SPOOL/health.json" \
+    || { echo "FAIL: health.json missing done count"; cat "$SPOOL/health.json"; exit 1; }
+echo "OK: both requests done, reports byte-identical to the CLI"
+
+echo "== 3/6 SIGKILL mid-sweep, restart resumes through the journal =="
+SPOOL="$WORK/spool-kill"
+"$SERVE" --root "$SPOOL" --enqueue "$WORK/req-a.json" --as victim
+"$SERVE" --root "$SPOOL" --workers 2 --poll-ms 20 2> "$WORK/kill.log" &
+SRV=$!
+sleep 0.7
+kill -9 "$SRV" 2>/dev/null || true
+wait "$SRV" 2>/dev/null || true
+# Whatever the kill tore, the state file must read as a whole word.
+STATE=$(cat "$SPOOL/requests/victim/state" 2>/dev/null || echo "pending")
+case "$STATE" in pending|running|done) ;; *)
+    echo "FAIL: torn or unexpected state '$STATE' after SIGKILL"; exit 1;;
+esac
+"$SERVE" --root "$SPOOL" --exit-when-idle --workers 2 --poll-ms 50
+[ "$(cat "$SPOOL/requests/victim/state")" = "done" ] \
+    || { echo "FAIL: victim not done after restart"; exit 1; }
+cmp "$SPOOL/requests/victim/report.json" "$WORK/ref-a.json"
+echo "OK: killed at '$STATE', recovered byte-identical"
+
+echo "== 4/6 SIGTERM drains gracefully and the next start completes =="
+SPOOL="$WORK/spool-drain"
+"$SERVE" --root "$SPOOL" --enqueue "$WORK/req-a.json" --as sleeper
+"$SERVE" --root "$SPOOL" --workers 2 --poll-ms 20 --drain-ms 60000 \
+    2> "$WORK/drain.log" &
+SRV=$!
+sleep 0.7
+kill -TERM "$SRV"
+RC=0; wait "$SRV" || RC=$?
+[ "$RC" -eq 0 ] || { echo "FAIL: drain exited $RC"; cat "$WORK/drain.log"; exit 1; }
+STATE=$(cat "$SPOOL/requests/sleeper/state")
+case "$STATE" in running|done) ;; *)
+    echo "FAIL: unexpected post-drain state '$STATE'"; exit 1;;
+esac
+ls "$SPOOL/requests/sleeper"/.tmp-* 2>/dev/null \
+    && { echo "FAIL: torn temp file survived the drain"; exit 1; }
+"$SERVE" --root "$SPOOL" --exit-when-idle --workers 2 --poll-ms 50
+cmp "$SPOOL/requests/sleeper/report.json" "$WORK/ref-a.json"
+echo "OK: drained with exit 0 at state '$STATE', completed byte-identical"
+
+echo "== 5/6 malformed request is rejected with its reason =="
+SPOOL="$WORK/spool-reject"
+mkdir -p "$SPOOL/queue"
+printf '{"grid": "quick", "seedz": 2}' > "$SPOOL/queue/typo.json"
+RC=0
+"$SERVE" --root "$SPOOL" --exit-when-idle --poll-ms 50 || RC=$?
+[ "$RC" -eq 3 ] || { echo "FAIL: expected degraded exit 3, got $RC"; exit 1; }
+[ "$(cat "$SPOOL/requests/typo/state")" = "rejected" ] \
+    || { echo "FAIL: typo not rejected"; exit 1; }
+grep -q "seedz" "$SPOOL/requests/typo/error" \
+    || { echo "FAIL: reject reason not recorded"; exit 1; }
+echo "OK: rejected with recorded reason, exit 3"
+
+echo "== 6/6 injected queue-scan fault heals on the next poll =="
+SPOOL="$WORK/spool-fault"
+"$SERVE" --root "$SPOOL" --enqueue "$WORK/req-b.json" --as survivor
+"$SERVE" --root "$SPOOL" --exit-when-idle --workers 2 --poll-ms 50 \
+    --failpoints "service.scan=err@1" 2> "$WORK/fault.log"
+[ "$(cat "$SPOOL/requests/survivor/state")" = "done" ] \
+    || { echo "FAIL: survivor lost to the scan fault"; exit 1; }
+grep -q "failpoint service.scan" "$WORK/fault.log" \
+    || { echo "FAIL: the scan fault never fired"; exit 1; }
+cmp "$SPOOL/requests/survivor/report.json" "$WORK/ref-b.json"
+echo "OK: scan fault absorbed, request completed byte-identical"
+
+echo "ALL SERVICE SMOKES PASSED"

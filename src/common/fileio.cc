@@ -243,4 +243,19 @@ std::string read_file(const std::string& path) {
   return content;
 }
 
+void sync_directory(const std::string& path) {
+  if (const auto hit = failpoint::check("fileio.fsync")) {
+    apply_common(hit, path, "fileio.fsync", "fsync");
+  }
+  const int fd = ::open(path.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) fail(path, "open directory for fsync");
+  if (::fsync(fd) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    fail(path, "fsync directory");
+  }
+  ::close(fd);
+}
+
 }  // namespace allarm

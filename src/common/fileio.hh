@@ -74,4 +74,10 @@ void write_file_durable(const std::string& path, const std::string& content);
 /// Reads the whole of `path` into a string; throws on failure.
 std::string read_file(const std::string& path);
 
+/// fsyncs a DIRECTORY so a just-renamed or just-created entry inside it
+/// survives power loss (a file's own fsync does not make its name
+/// durable).  The rename-into-place idiom (spool enqueue, state files) is
+/// only crash-atomic with this barrier after it.  Throws on failure.
+void sync_directory(const std::string& path);
+
 }  // namespace allarm

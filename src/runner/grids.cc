@@ -1,0 +1,67 @@
+#include "runner/grids.hh"
+
+#include <stdexcept>
+
+#include "core/experiment.hh"
+#include "workload/profiles.hh"
+
+namespace allarm::runner {
+
+const std::vector<std::string>& builtin_grid_names() {
+  static const std::vector<std::string> names = {"fig3", "fig3h", "policy",
+                                                 "region", "quick"};
+  return names;
+}
+
+SweepSpec make_builtin_grid(const std::string& name, const GridKnobs& knobs) {
+  if (knobs.seeds == 0) {
+    throw std::invalid_argument("grid '" + name +
+                                "': seeds must be positive");
+  }
+  SweepSpec spec;
+  spec.name = name;
+  spec.workloads = workload::benchmark_names();
+  spec.modes = {DirectoryMode::kBaseline, DirectoryMode::kAllarm};
+  spec.replicates = knobs.seeds;
+  spec.base_seed = knobs.base_seed;
+
+  SystemConfig config;
+  if (name == "fig3") {
+    spec.accesses_per_thread = core::bench_accesses(30000);
+    spec.configs = {{"table1", config}};
+  } else if (name == "fig3h") {
+    spec.accesses_per_thread = core::bench_accesses(20000);
+    for (const std::uint32_t kb : {512u, 256u, 128u}) {
+      SystemConfig c = config;
+      c.probe_filter_coverage_bytes = kb * 1024;
+      spec.configs.push_back({std::to_string(kb) + "kB", c});
+    }
+  } else if (name == "policy") {
+    spec.accesses_per_thread = core::bench_accesses(20000);
+    spec.configs = {{"first-touch", config, numa::AllocPolicy::kFirstTouch},
+                    {"interleave", config, numa::AllocPolicy::kInterleave}};
+  } else if (name == "region") {
+    // Region-granularity ablation: scheme x region size x workload.  The
+    // 64 B point degenerates to per-block tracking, so its region rows
+    // must match the baseline rows cell for cell (the correctness oracle;
+    // see docs/DIRECTORY.md).
+    spec.accesses_per_thread = core::bench_accesses(20000);
+    spec.modes = {DirectoryMode::kBaseline, DirectoryMode::kAllarm,
+                  DirectoryMode::kRegion};
+    for (const std::uint32_t bytes : {4096u, 1024u, 256u, 64u}) {
+      SystemConfig c = config;
+      c.region_size_bytes = bytes;
+      spec.configs.push_back({"r" + std::to_string(bytes), c});
+    }
+  } else if (name == "quick") {
+    spec.accesses_per_thread = core::bench_accesses(2000);
+    spec.workloads = {"barnes", "ocean-cont"};
+    spec.configs = {{"table1", config}};
+  } else {
+    throw std::invalid_argument("unknown grid '" + name + "'");
+  }
+  if (knobs.accesses > 0) spec.accesses_per_thread = knobs.accesses;
+  return spec;
+}
+
+}  // namespace allarm::runner

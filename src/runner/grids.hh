@@ -1,0 +1,35 @@
+// The built-in sweep grids — the paper's figure experiments as named,
+// parameterized SweepSpecs.
+//
+// Shared by the `sweep` CLI (--grid NAME) and the sweep service (a spool
+// request names a grid the same way), so "what does grid X mean" has one
+// definition.  The trace grid is NOT here: it is built from CLI-only
+// inputs (--trace files, --cores) and lives with the sweep driver.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runner/sweep.hh"
+
+namespace allarm::runner {
+
+/// The caller-tunable axes every built-in grid accepts.
+struct GridKnobs {
+  std::uint32_t seeds = 1;       ///< Replicates per cell.
+  std::uint64_t base_seed = 42;
+  /// ROI accesses per thread; 0 = the grid's own default (which respects
+  /// ALLARM_BENCH_ACCESSES, see core::bench_accesses).
+  std::uint64_t accesses = 0;
+};
+
+/// Names accepted by make_builtin_grid, in listing order.
+const std::vector<std::string>& builtin_grid_names();
+
+/// Builds the named grid.  Throws std::invalid_argument for an unknown
+/// name or zero `seeds` — the service's reject path and the CLI's usage
+/// error both hang off this.
+SweepSpec make_builtin_grid(const std::string& name, const GridKnobs& knobs);
+
+}  // namespace allarm::runner

@@ -162,7 +162,8 @@ std::string journal_data_path(const std::string& path) {
 
 // -------------------------------------------------- payload serialization ----
 
-std::string serialize_run_result(const core::RunResult& result) {
+std::string serialize_run_result(const core::RunResult& result,
+                                 std::uint64_t cell_hash) {
   std::string out;
   const auto put_u32 = [&out](std::uint32_t v) {
     out.append(reinterpret_cast<const char*>(&v), sizeof(v));
@@ -189,10 +190,12 @@ std::string serialize_run_result(const core::RunResult& result) {
   // written before it existed, and the reader treats end-of-payload here
   // as "not recorded").  Extend only by appending.
   put_u64(result.wall_ns);
+  put_u64(cell_hash);
   return out;
 }
 
-core::RunResult deserialize_run_result(const void* data, std::size_t size) {
+core::RunResult deserialize_run_result(const void* data, std::size_t size,
+                                       std::uint64_t* cell_hash) {
   const auto* bytes = static_cast<const char*>(data);
   std::size_t pos = 0;
   const auto need = [&](std::size_t n) {
@@ -233,8 +236,12 @@ core::RunResult deserialize_run_result(const void* data, std::size_t size) {
     std::memcpy(&value, &value_bits, sizeof(value));
     result.stats.set(name, value);
   }
-  // Optional trailing section (pre-wall_ns journals end here).
+  // Optional trailing sections, in append order (pre-wall_ns journals end
+  // before the first; pre-cell-hash journals before the second).
   if (pos < size) result.wall_ns = get_u64();
+  std::uint64_t stored_cell_hash = 0;
+  if (pos < size) stored_cell_hash = get_u64();
+  if (cell_hash != nullptr) *cell_hash = stored_cell_hash;
   if (pos != size) {
     throw std::runtime_error("journal payload has trailing bytes");
   }
@@ -315,6 +322,46 @@ Journal Journal::open_resume(const std::string& path,
   return j;
 }
 
+Journal Journal::open_rebind(const std::string& path,
+                             const JournalMeta& expected) {
+  Journal j;
+  j.journal_ = File(path, File::Mode::kReadWrite);
+  j.data_ = File(journal_data_path(path), File::Mode::kReadWrite);
+  j.index_ = scan(j.journal_, j.data_);
+
+  // Shape and shard are structural — a journal whose job indices mean a
+  // different grid cannot be reinterpreted, only replaced.
+  const JournalMeta& meta = j.index_.meta;
+  require_field(path, "job count", meta.job_count, expected.job_count);
+  require_field(path, "shard index", meta.shard_index, expected.shard_index);
+  require_field(path, "shard count", meta.shard_count, expected.shard_count);
+
+  j.journal_.truncate(j.index_.valid_journal_bytes);
+  j.data_.truncate(j.index_.valid_data_bytes);
+  j.journal_end_ = j.index_.valid_journal_bytes;
+  j.data_end_ = j.index_.valid_data_bytes;
+  j.writable_ = true;
+
+  // Rebind the header to the new identity, durably, before any append:
+  // from here on the journal IS the new sweep's journal (a crash between
+  // the rewrite and the first append leaves a valid rebound journal whose
+  // stale records the next incremental open filters again).
+  if (meta.spec_hash != expected.spec_hash ||
+      meta.base_seed != expected.base_seed) {
+    RawHeader header;
+    header.spec_hash = expected.spec_hash;
+    header.job_count = expected.job_count;
+    header.base_seed = expected.base_seed;
+    header.shard_index = expected.shard_index;
+    header.shard_count = expected.shard_count;
+    header.header_crc = header_crc(header);
+    j.journal_.write_at(0, &header, sizeof(header));
+    j.journal_.sync();
+    j.index_.meta = expected;
+  }
+  return j;
+}
+
 Journal Journal::open_read(const std::string& path) {
   Journal j;
   j.journal_ = File(path, File::Mode::kRead);
@@ -373,8 +420,8 @@ void Journal::append_record(std::uint64_t job_index, std::uint64_t seed,
 }
 
 void Journal::append(std::uint64_t job_index, std::uint64_t seed,
-                     const core::RunResult& result) {
-  append_record(job_index, seed, serialize_run_result(result), 0);
+                     const core::RunResult& result, std::uint64_t cell_hash) {
+  append_record(job_index, seed, serialize_run_result(result, cell_hash), 0);
 }
 
 void Journal::append_failed(std::uint64_t job_index, std::uint64_t seed,
@@ -398,14 +445,15 @@ std::string Journal::verified_payload(const JournalEntry& entry) const {
   return payload;
 }
 
-core::RunResult Journal::read_payload(const JournalEntry& entry) const {
+core::RunResult Journal::read_payload(const JournalEntry& entry,
+                                      std::uint64_t* cell_hash) const {
   if (entry.failed) {
     throw std::logic_error("journal " + journal_.path() + ": job " +
                            std::to_string(entry.job_index) +
                            " is a quarantine record (use read_failure)");
   }
   const std::string payload = verified_payload(entry);
-  return deserialize_run_result(payload.data(), payload.size());
+  return deserialize_run_result(payload.data(), payload.size(), cell_hash);
 }
 
 FailureRecord Journal::read_failure(const JournalEntry& entry) const {

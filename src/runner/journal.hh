@@ -81,11 +81,20 @@ struct JournalIndex {
 std::string journal_data_path(const std::string& path);
 
 /// Canonical binary serialization of one RunResult (the journal payload).
-std::string serialize_run_result(const core::RunResult& result);
+/// `cell_hash` is the identity hash of the job's grid cell
+/// (runner::cell_hash in sweep.hh); it rides in the payload's extensible
+/// trailing section so per-cell incremental re-sweeps can tell which
+/// journaled cells a changed spec invalidates.  0 = not recorded (the
+/// value journals written before the field existed deserialize to).
+std::string serialize_run_result(const core::RunResult& result,
+                                 std::uint64_t cell_hash = 0);
 
 /// Inverse of serialize_run_result; throws std::runtime_error on malformed
-/// input (truncated or trailing bytes).
-core::RunResult deserialize_run_result(const void* data, std::size_t size);
+/// input (truncated or trailing bytes).  When `cell_hash` is non-null it
+/// receives the payload's recorded cell hash (0 when the payload predates
+/// the field).
+core::RunResult deserialize_run_result(const void* data, std::size_t size,
+                                       std::uint64_t* cell_hash = nullptr);
 
 /// Canonical binary serialization of one FailureRecord (the payload of a
 /// quarantine record — see JournalEntry::failed).
@@ -115,6 +124,16 @@ class Journal {
   static Journal open_resume(const std::string& path,
                              const JournalMeta& expected);
 
+  /// Incremental-resume open: like open_resume, but a spec-hash or
+  /// base-seed mismatch REBINDS the journal instead of refusing — the
+  /// header is durably rewritten with `expected` so later strict opens and
+  /// merges see the new identity.  Grid shape and shard must still match
+  /// (a journal indexed by a different grid cannot be reinterpreted).
+  /// Callers decide per record what is still valid (per-cell hashes);
+  /// stale records are superseded by re-run appends, last-record-wins.
+  static Journal open_rebind(const std::string& path,
+                             const JournalMeta& expected);
+
   /// Opens read-only (merge path): header is validated for magic/version
   /// and CRC only; callers check meta themselves.
   static Journal open_read(const std::string& path);
@@ -127,9 +146,10 @@ class Journal {
   const JournalMeta& meta() const { return index_.meta; }
 
   /// Appends one finished job.  Durable after the next sync barrier (every
-  /// kSyncBatch appends, or close()).
+  /// kSyncBatch appends, or close()).  `cell_hash` stamps the payload with
+  /// the job's cell identity (see serialize_run_result; 0 = unstamped).
   void append(std::uint64_t job_index, std::uint64_t seed,
-              const core::RunResult& result);
+              const core::RunResult& result, std::uint64_t cell_hash = 0);
 
   /// Appends one quarantined (permanently failed) job.  Same durability as
   /// append(); the record carries the failed flag and a FailureRecord
@@ -140,8 +160,11 @@ class Journal {
 
   /// Reads and verifies one payload; throws std::runtime_error when the
   /// stored bytes fail their CRC or do not deserialize, std::logic_error
-  /// when `entry` is a quarantine record (use read_failure).
-  core::RunResult read_payload(const JournalEntry& entry) const;
+  /// when `entry` is a quarantine record (use read_failure).  A non-null
+  /// `cell_hash` receives the payload's recorded cell-identity hash
+  /// (0 when the record predates cell stamping).
+  core::RunResult read_payload(const JournalEntry& entry,
+                               std::uint64_t* cell_hash = nullptr) const;
 
   /// Reads and verifies one quarantine payload; throws std::logic_error
   /// when `entry` is a result record.

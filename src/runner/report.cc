@@ -1,5 +1,7 @@
 #include "runner/report.hh"
 
+#include <cstdio>
+#include <iostream>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
@@ -202,6 +204,83 @@ std::string to_csv(const SweepResult& result) {
 
 void write_file(const std::string& path, const std::string& content) {
   write_file_durable(path, content);
+}
+
+// ----------------------------------------------------------- ReportFiles ----
+
+namespace {
+
+std::ofstream open_tmp(const std::string& path) {
+  std::ofstream file(path + ".tmp", std::ios::binary | std::ios::trunc);
+  if (!file) {
+    throw std::runtime_error("cannot open " + path + ".tmp for writing");
+  }
+  return file;
+}
+
+void close_and_rename(std::ofstream& file, const std::string& path) {
+  file.close();
+  if (!file) throw std::runtime_error("failed closing " + path + ".tmp");
+  {
+    // fsync before the rename: without it, a power loss after the rename
+    // could replace a good previous report with a partial one.
+    File tmp(path + ".tmp", File::Mode::kReadWrite);
+    tmp.sync();
+    tmp.close();
+  }
+  if (std::rename((path + ".tmp").c_str(), path.c_str()) != 0) {
+    throw std::runtime_error("failed renaming " + path + ".tmp into place");
+  }
+}
+
+}  // namespace
+
+ReportFiles::ReportFiles(const std::string& json_path,
+                         const std::string& csv_path, bool include_timing)
+    : json_path_(json_path), csv_path_(csv_path) {
+  std::vector<ResultSink*> all;
+  if (json_path_.empty()) {
+    json_ = std::make_unique<JsonStreamSink>(std::cout, "stdout");
+  } else {
+    out_file_ = open_tmp(json_path_);
+    json_ = std::make_unique<JsonStreamSink>(out_file_, json_path_);
+  }
+  json_->set_include_timing(include_timing);
+  all.push_back(json_.get());
+  if (!csv_path_.empty()) {
+    csv_file_ = open_tmp(csv_path_);
+    csv_ = std::make_unique<CsvStreamSink>(csv_file_, csv_path_);
+    all.push_back(csv_.get());
+  }
+  tee_ = TeeSink(all);
+}
+
+ReportFiles::~ReportFiles() {
+  try {
+    discard();
+  } catch (...) {
+    // Destructor cleanup is best effort; commit() is the throwing path.
+  }
+}
+
+void ReportFiles::commit() {
+  if (done_) return;
+  done_ = true;
+  if (out_file_.is_open()) close_and_rename(out_file_, json_path_);
+  if (csv_file_.is_open()) close_and_rename(csv_file_, csv_path_);
+}
+
+void ReportFiles::discard() {
+  if (done_) return;
+  done_ = true;
+  if (out_file_.is_open()) {
+    out_file_.close();
+    std::remove((json_path_ + ".tmp").c_str());
+  }
+  if (csv_file_.is_open()) {
+    csv_file_.close();
+    std::remove((csv_path_ + ".tmp").c_str());
+  }
 }
 
 }  // namespace allarm::runner

@@ -13,8 +13,11 @@
 // truncated report.
 #pragma once
 
+#include <fstream>
+#include <memory>
 #include <ostream>
 #include <string>
+#include <vector>
 
 #include "runner/sink.hh"
 #include "runner/sweep.hh"
@@ -76,5 +79,47 @@ std::string to_csv(const SweepResult& result);
 /// Writes `content` to `path` and fsyncs it; throws std::runtime_error on
 /// any I/O failure.
 void write_file(const std::string& path, const std::string& content);
+
+/// The report file pipeline shared by the sweep CLI and the sweep service:
+/// streaming JSON to a file (or stdout) plus an optional CSV, fanned out
+/// through one TeeSink.  File reports stream into `<path>.tmp` and rename
+/// into place only in commit(), so a failed, killed, or drained run never
+/// destroys a pre-existing good report — and never publishes a torn one.
+class ReportFiles {
+ public:
+  /// Empty `json_path` streams JSON to stdout (the CLI default); empty
+  /// `csv_path` means no CSV report.  Throws std::runtime_error when a
+  /// temp file cannot be opened.
+  ReportFiles(const std::string& json_path, const std::string& csv_path,
+              bool include_timing = false);
+  /// Discards anything not committed (best effort, never throws).
+  ~ReportFiles();
+
+  ReportFiles(const ReportFiles&) = delete;
+  ReportFiles& operator=(const ReportFiles&) = delete;
+
+  /// The sink to stream the sweep into.
+  ResultSink& sink() { return tee_; }
+
+  /// Publishes the temp files: close, fsync, rename into place.  Call only
+  /// after a successful end-of-stream; throws std::runtime_error on I/O
+  /// failure (the targets then keep their previous contents).
+  void commit();
+
+  /// Abandons the temp files (close + unlink).  The drain path: a drained
+  /// run's report is torn mid-stream by design — the journal carries the
+  /// work, and the resume rewrites the report from scratch.
+  void discard();
+
+ private:
+  std::string json_path_;
+  std::string csv_path_;
+  std::ofstream out_file_;
+  std::ofstream csv_file_;
+  std::unique_ptr<JsonStreamSink> json_;
+  std::unique_ptr<CsvStreamSink> csv_;
+  TeeSink tee_{{}};
+  bool done_ = false;
+};
 
 }  // namespace allarm::runner

@@ -16,6 +16,7 @@
 
 #include "common/checksum.hh"
 #include "common/failpoint.hh"
+#include "common/rng.hh"
 #include "runner/journal.hh"
 #include "runner/sink.hh"
 #include "runner/thread_pool.hh"
@@ -240,12 +241,154 @@ std::uint64_t spec_hash(const SweepSpec& spec) {
   return h.digest();
 }
 
+std::uint64_t cell_hash(const SweepSpec& spec, std::uint64_t cell_index) {
+  validate_axes(spec);
+  if (cell_index >= spec.cell_count()) {
+    throw std::out_of_range("cell_hash: cell " + std::to_string(cell_index) +
+                            " outside grid of " +
+                            std::to_string(spec.cell_count()));
+  }
+  // Invert the grid enumeration: cell = (w * |configs| + c) * |modes| + m.
+  const std::uint64_t m = cell_index % spec.modes.size();
+  const std::uint64_t c = (cell_index / spec.modes.size()) % spec.configs.size();
+  const std::uint64_t w = cell_index / (spec.modes.size() * spec.configs.size());
+
+  Fnv1a64 h;
+  h.update(std::string("allarm-cell-v1"));
+  // The position is part of the identity: journals bind results to grid
+  // indices, so the same (workload, config, mode) at a different index is
+  // a different binding.
+  h.update_u64(cell_index);
+  h.update(spec.workloads[w]);
+  const ConfigPoint& point = spec.configs[c];
+  h.update(point.label);
+  h.update_u32(static_cast<std::uint32_t>(point.policy));
+  fold_config(h, point.config);
+  h.update_u32(static_cast<std::uint32_t>(spec.modes[m]));
+  h.update_u32(spec.replicates);
+  h.update_u64(spec.accesses_per_thread);
+  // Same workload-source folds as spec_hash, same caveats (a custom
+  // factory hashes by presence; capture is a pure side effect).
+  h.update_u32(spec.make_workload ? 1 : 0);
+  if (!spec.replay_dir.empty()) {
+    h.update(std::string("replay"));
+    h.update(spec.replay_dir);
+  }
+  if (spec.par.enabled() && spec.par.mode == parallel::ParMode::kLax) {
+    h.update(std::string("par-lax"));
+    h.update_u32(spec.par.shards);
+    h.update_u64(spec.par.slack);
+  }
+  // The cell's own seeds: replicate seeds depend on (base_seed, workload
+  // index), so a base-seed or derivation change invalidates every cell.
+  for (std::uint32_t r = 0; r < spec.replicates; ++r) {
+    h.update_u64(job_seed(spec.base_seed, static_cast<std::uint32_t>(w), r));
+  }
+  return h.digest();
+}
+
 void ShardSpec::validate() const {
   if (count == 0 || index == 0 || index > count) {
     throw std::invalid_argument("invalid shard " + std::to_string(index) +
                                 "/" + std::to_string(count) +
                                 " (want 1 <= K <= N)");
   }
+  for (const std::uint32_t owner : assignment) {
+    if (owner == 0 || owner > count) {
+      throw std::invalid_argument(
+          "shard assignment names shard " + std::to_string(owner) +
+          " outside 1.." + std::to_string(count));
+    }
+  }
+}
+
+std::vector<std::uint32_t> plan_shards(const std::vector<double>& cell_costs,
+                                       std::uint32_t shard_count) {
+  if (cell_costs.empty()) {
+    throw std::invalid_argument("plan_shards: no cells to assign");
+  }
+  if (shard_count == 0) {
+    throw std::invalid_argument("plan_shards: shard count must be positive");
+  }
+  // Greedy LPT: visit cells heaviest-first (ties by index, so the plan is a
+  // pure function of the cost vector), give each to the least-loaded shard
+  // (ties to the lowest shard index).
+  std::vector<std::uint64_t> order(cell_costs.size());
+  for (std::uint64_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](std::uint64_t a, std::uint64_t b) {
+              if (cell_costs[a] != cell_costs[b]) {
+                return cell_costs[a] > cell_costs[b];
+              }
+              return a < b;
+            });
+  std::vector<double> load(shard_count, 0.0);
+  std::vector<std::uint32_t> owner(cell_costs.size(), 0);
+  for (const std::uint64_t cell : order) {
+    std::uint32_t best = 0;
+    for (std::uint32_t s = 1; s < shard_count; ++s) {
+      if (load[s] < load[best]) best = s;
+    }
+    owner[cell] = best + 1;  // 1-based, the --shard K/N notation.
+    load[best] += std::max(cell_costs[cell], 0.0);
+  }
+  return owner;
+}
+
+std::vector<double> cell_costs_from_journal(const SweepSpec& spec,
+                                            const std::string& journal_path) {
+  validate_axes(spec);
+  const std::uint64_t job_count = spec.job_count();
+  Journal journal = Journal::open_read(journal_path);
+  if (journal.meta().job_count != job_count) {
+    throw std::runtime_error(
+        "journal " + journal_path + ": records " +
+        std::to_string(journal.meta().job_count) + " jobs but the spec has " +
+        std::to_string(job_count) + " — cost model needs the same grid shape");
+  }
+  // Last record wins, like resume; failures and damaged payloads leave the
+  // job unmeasured (they carry no wall clock).
+  std::vector<std::optional<JournalEntry>> last(job_count);
+  for (const JournalEntry& entry : journal.index().entries) {
+    if (entry.job_index >= job_count) continue;
+    last[entry.job_index] = entry;
+  }
+  std::vector<double> job_cost(job_count, -1.0);
+  double total = 0.0;
+  std::uint64_t measured = 0;
+  for (std::uint64_t j = 0; j < job_count; ++j) {
+    if (!last[j] || !last[j]->payload_ok || last[j]->failed) continue;
+    core::RunResult result;
+    try {
+      result = journal.read_payload(*last[j]);
+    } catch (const std::exception&) {
+      continue;  // Corrupt payload: job is unmeasured, not fatal.
+    }
+    if (result.wall_ns == 0) continue;  // Journaled before timing existed.
+    job_cost[j] = static_cast<double>(result.wall_ns);
+    total += job_cost[j];
+    ++measured;
+  }
+  // Holes take the mean measured job cost so a missing job never zeroes its
+  // cell (and a journal with no timing at all degrades to uniform costs).
+  const double mean = measured > 0 ? total / static_cast<double>(measured) : 1.0;
+  std::vector<double> costs(spec.cell_count(), 0.0);
+  for (std::uint64_t j = 0; j < job_count; ++j) {
+    costs[j / spec.replicates] += job_cost[j] >= 0.0 ? job_cost[j] : mean;
+  }
+  return costs;
+}
+
+std::uint64_t retry_backoff_ms(std::uint32_t base_ms, std::uint32_t attempt,
+                               std::uint64_t job_index) {
+  if (base_ms == 0 || attempt == 0) return 0;
+  const std::uint64_t base = static_cast<std::uint64_t>(base_ms)
+                             << (attempt - 1);
+  // Deterministic jitter from the job coordinate: simultaneous failures
+  // across jobs (or service requests) spread instead of retrying in
+  // lockstep, while the same run reproduces the same schedule.
+  SplitMix64 rng(job_index * 0x9e3779b97f4a7c15ull + attempt);
+  return base + rng.next() % (base_ms / 2 + 1);
 }
 
 // ------------------------------------------------------------- SweepResult ----
@@ -342,8 +485,20 @@ StreamStats SweepRunner::run_streaming(const SweepSpec& spec, ResultSink& sink,
                                        const StreamOptions& options) const {
   validate_axes(spec);
   options.shard.validate();
-  if (options.resume && options.journal_path.empty()) {
+  if ((options.resume || options.resume_cells) &&
+      options.journal_path.empty()) {
     throw std::invalid_argument("resume requires a journal path");
+  }
+  if (options.resume_cells && options.shard.count != 1) {
+    // A spec edit can change any cell, and stale records would be stranded
+    // in whichever shard's journal round-robin (or a cost plan) previously
+    // assigned them — per-cell resume is a single-journal operation.
+    throw std::invalid_argument(
+        "per-cell incremental resume requires an unsharded sweep");
+  }
+  if (options.stop != nullptr && options.journal_path.empty()) {
+    throw std::invalid_argument(
+        "a drainable run requires a journal (drain checkpoints into it)");
   }
   const auto start = std::chrono::steady_clock::now();
 
@@ -357,7 +512,14 @@ StreamStats SweepRunner::run_streaming(const SweepSpec& spec, ResultSink& sink,
   // The journal, and the already-done jobs a resume replays from it.
   std::optional<Journal> journal;
   std::unordered_map<std::uint64_t, JournalEntry> resumed;
+  // Per-cell identity hashes, stamped into every journaled payload so a
+  // later per-cell resume can tell live records from stale ones.
+  std::vector<std::uint64_t> cell_hashes;
   if (!options.journal_path.empty()) {
+    cell_hashes.resize(spec.cell_count());
+    for (std::uint64_t cell = 0; cell < cell_hashes.size(); ++cell) {
+      cell_hashes[cell] = cell_hash(spec, cell);
+    }
     JournalMeta meta;
     meta.spec_hash = spec_hash(spec);
     meta.job_count = jobs.size();
@@ -365,7 +527,7 @@ StreamStats SweepRunner::run_streaming(const SweepSpec& spec, ResultSink& sink,
     meta.shard_index = options.shard.index;
     meta.shard_count = options.shard.count;
     const bool exists = file_exists(options.journal_path);
-    if (!options.resume && exists) {
+    if (!options.resume && !options.resume_cells && exists) {
       // Never silently truncate journaled work — it is exactly the data
       // the journal exists to protect.
       throw std::runtime_error(
@@ -373,7 +535,37 @@ StreamStats SweepRunner::run_streaming(const SweepSpec& spec, ResultSink& sink,
           " already exists; resume it (--resume) or delete it to start "
           "fresh");
     }
-    if (options.resume && exists) {
+    if (options.resume_cells && exists) {
+      // Incremental re-sweep: rebind the journal to this spec's identity
+      // and keep exactly the records whose cell definition is unchanged.
+      // Stale records (edited cell, changed seed, broken payload) are
+      // simply not-done — the re-run appends supersede them.
+      journal.emplace(Journal::open_rebind(options.journal_path, meta));
+      for (const JournalEntry& entry : journal->index().entries) {
+        if (entry.job_index >= jobs.size()) continue;
+        if (!entry.payload_ok) continue;
+        if (entry.failed) {
+          resumed.erase(entry.job_index);
+          continue;
+        }
+        if (entry.seed != jobs[entry.job_index].request.seed) {
+          resumed.erase(entry.job_index);
+          continue;
+        }
+        std::uint64_t recorded = 0;
+        try {
+          journal->read_payload(entry, &recorded);
+        } catch (const std::exception&) {
+          resumed.erase(entry.job_index);
+          continue;
+        }
+        if (recorded != cell_hashes[entry.job_index / spec.replicates]) {
+          resumed.erase(entry.job_index);  // Pre-stamping (0) is also stale.
+          continue;
+        }
+        resumed[entry.job_index] = entry;  // Last wins.
+      }
+    } else if (options.resume && exists) {
       journal.emplace(Journal::open_resume(options.journal_path, meta));
       for (const JournalEntry& entry : journal->index().entries) {
         check_entry_seed(options.journal_path, entry, jobs);
@@ -414,12 +606,35 @@ StreamStats SweepRunner::run_streaming(const SweepSpec& spec, ResultSink& sink,
   std::mutex mutex;
   std::condition_variable done_cv;
   std::vector<Completion> completed;
+  // Pool tasks whose lambda has not yet finished.  With a shared pool the
+  // pool outlives this call, so returning (or unwinding) while a task still
+  // references these stack locals would be use-after-return — the guard
+  // below waits for live == 0 on every exit path.  Tasks decrement and
+  // notify UNDER the mutex, so the guard cannot miss the last wakeup.
+  std::size_t live = 0;
 
   // A par-sharded sweep splits the host thread budget between concurrent
   // jobs and per-job shard work (parallel::split_budget): the lane merge
   // and flush cost per job scales with shards, so jobs x shards stays
-  // within the --jobs budget instead of multiplying past it.
-  ThreadPool pool(parallel::split_budget(jobs_, spec.par.shards));
+  // within the --jobs budget instead of multiplying past it.  A shared
+  // pool (the sweep service multiplexing requests) overrides the private
+  // one; it only schedules — the fold below is grid-ordered either way.
+  std::optional<ThreadPool> owned_pool;
+  if (options.pool == nullptr) {
+    owned_pool.emplace(parallel::split_budget(jobs_, spec.par.shards));
+  }
+  ThreadPool& pool = options.pool != nullptr ? *options.pool : *owned_pool;
+
+  struct LiveGuard {
+    std::mutex& mutex;
+    std::condition_variable& cv;
+    const std::size_t& live;
+    ~LiveGuard() {
+      std::unique_lock<std::mutex> lock(mutex);
+      cv.wait(lock, [&] { return live == 0; });
+    }
+  } live_guard{mutex, done_cv, live};
+
   const std::size_t window =
       options.max_outstanding > 0
           ? options.max_outstanding
@@ -433,6 +648,10 @@ StreamStats SweepRunner::run_streaming(const SweepSpec& spec, ResultSink& sink,
   std::size_t next = 0;          // Next owned[] position to issue.
   std::size_t fold_pos = 0;      // Next owned[] position to fold.
   std::size_t outstanding = 0;   // Issued but not yet folded.
+  std::size_t inflight = 0;      // On the pool, completion not yet processed.
+  // Drain mode (StreamOptions::stop): stop issuing, journal what was
+  // already issued, leave the rest for a resume.
+  bool draining = false;
 
   const auto note_peak = [&] {
     const std::size_t now = resident.size() + folder.partial_fill();
@@ -440,9 +659,13 @@ StreamStats SweepRunner::run_streaming(const SweepSpec& spec, ResultSink& sink,
   };
 
   while (fold_pos < owned.size()) {
+    if (!draining && options.stop != nullptr &&
+        options.stop->load(std::memory_order_relaxed)) {
+      draining = true;
+    }
     // Issue jobs while the outstanding window has room.  Journaled jobs
     // replay straight into `resident`; fresh jobs go to the pool.
-    while (next < owned.size() && outstanding < window) {
+    while (!draining && next < owned.size() && outstanding < window) {
       const std::uint64_t job_index = owned[next];
       ++next;
       ++outstanding;
@@ -466,61 +689,80 @@ StreamStats SweepRunner::run_streaming(const SweepSpec& spec, ResultSink& sink,
         const std::uint32_t max_attempts = options.cell_retries + 1;
         const std::uint32_t backoff_ms = options.retry_backoff_ms;
         const std::uint64_t deadline_ns = options.cell_timeout_ns;
-        pool.submit([&job, job_index, max_attempts, backoff_ms, deadline_ns,
-                     &mutex, &done_cv, &completed] {
-          Completion done;
-          done.job_index = job_index;
-          for (std::uint32_t attempt = 1;; ++attempt) {
-            done.attempts = attempt;
-            try {
-              if (attempt > 1 && backoff_ms > 0) {
-                std::this_thread::sleep_for(std::chrono::milliseconds(
-                    static_cast<std::uint64_t>(backoff_ms) << (attempt - 2)));
-              }
-              if (const auto hit =
-                      failpoint::check_indexed("cell.job", job_index)) {
-                if (hit.action == failpoint::Action::kDelay) {
-                  std::this_thread::sleep_for(
-                      std::chrono::milliseconds(hit.arg));
-                } else {
-                  throw std::runtime_error(
-                      "job " + std::to_string(job_index) +
-                      ": injected fault (failpoint cell.job)");
+        {
+          std::lock_guard<std::mutex> lock(mutex);
+          ++live;  // Paired with the task's decrement; see LiveGuard.
+        }
+        try {
+          pool.submit([&job, job_index, max_attempts, backoff_ms, deadline_ns,
+                       &mutex, &done_cv, &completed, &live] {
+            Completion done;
+            done.job_index = job_index;
+            for (std::uint32_t attempt = 1;; ++attempt) {
+              done.attempts = attempt;
+              try {
+                if (attempt > 1 && backoff_ms > 0) {
+                  std::this_thread::sleep_for(std::chrono::milliseconds(
+                      retry_backoff_ms(backoff_ms, attempt - 1, job_index)));
                 }
-              }
-              if (const auto hit = failpoint::check("cell.attempt")) {
-                if (hit.action == failpoint::Action::kDelay) {
-                  std::this_thread::sleep_for(
-                      std::chrono::milliseconds(hit.arg));
-                } else {
-                  throw std::runtime_error(
-                      "job " + std::to_string(job_index) +
-                      ": injected fault (failpoint cell.attempt)");
+                if (const auto hit =
+                        failpoint::check_indexed("cell.job", job_index)) {
+                  if (hit.action == failpoint::Action::kDelay) {
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(hit.arg));
+                  } else {
+                    throw std::runtime_error(
+                        "job " + std::to_string(job_index) +
+                        ": injected fault (failpoint cell.job)");
+                  }
                 }
+                if (const auto hit = failpoint::check("cell.attempt")) {
+                  if (hit.action == failpoint::Action::kDelay) {
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(hit.arg));
+                  } else {
+                    throw std::runtime_error(
+                        "job " + std::to_string(job_index) +
+                        ": injected fault (failpoint cell.attempt)");
+                  }
+                }
+                done.result = core::run_request(job.request, deadline_ns);
+                done.failed = false;
+                break;
+              } catch (const std::exception& e) {
+                done.failed = true;
+                done.error_text = e.what();
+                done.error = std::current_exception();
+              } catch (...) {
+                done.failed = true;
+                done.error_text = "unknown exception";
+                done.error = std::current_exception();
               }
-              done.result = core::run_request(job.request, deadline_ns);
-              done.failed = false;
-              break;
-            } catch (const std::exception& e) {
-              done.failed = true;
-              done.error_text = e.what();
-              done.error = std::current_exception();
-            } catch (...) {
-              done.failed = true;
-              done.error_text = "unknown exception";
-              done.error = std::current_exception();
+              if (attempt >= max_attempts) break;
             }
-            if (attempt >= max_attempts) break;
-          }
-          {
-            std::lock_guard<std::mutex> lock(mutex);
-            completed.push_back(std::move(done));
-          }
-          done_cv.notify_one();
-        });
+            {
+              // Push, decrement and notify under one lock: once `live` hits
+              // zero with the mutex released, this task touches no capture
+              // again, so the LiveGuard's wakeup cannot race destruction.
+              std::lock_guard<std::mutex> lock(mutex);
+              completed.push_back(std::move(done));
+              --live;
+              done_cv.notify_all();
+            }
+          });
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(mutex);
+          --live;
+          throw;
+        }
         ++stats.jobs_executed;
+        ++inflight;
       }
     }
+
+    // Draining and nothing left on the pool: every issued job has been
+    // collected and journaled — checkpoint and leave.
+    if (draining && inflight == 0) break;
 
     // Collect finished jobs.  Block only when neither issuing nor folding
     // can make progress — then some pool job is still running and its
@@ -529,7 +771,8 @@ StreamStats SweepRunner::run_streaming(const SweepSpec& spec, ResultSink& sink,
     {
       std::unique_lock<std::mutex> lock(mutex);
       if (completed.empty()) {
-        const bool can_issue = next < owned.size() && outstanding < window;
+        const bool can_issue =
+            !draining && next < owned.size() && outstanding < window;
         const bool can_fold =
             fold_pos < owned.size() && resident.count(owned[fold_pos]) > 0;
         if (!can_issue && !can_fold) {
@@ -539,17 +782,24 @@ StreamStats SweepRunner::run_streaming(const SweepSpec& spec, ResultSink& sink,
       batch.swap(completed);
     }
     for (Completion& done : batch) {
+      --inflight;
       stats.jobs_retried += done.attempts - 1;
       const std::uint64_t seed = jobs[done.job_index].request.seed;
+      const std::uint64_t done_cell_hash =
+          journal ? cell_hashes[done.job_index / spec.replicates] : 0;
       if (done.failed) {
         // Out of retries.  Without quarantine, rethrow on this (the
         // folding) thread, where callers expect sweep errors to surface —
         // in-flight jobs drain through the pool destructor and their
-        // completions are simply dropped.  With quarantine, the failure
-        // becomes data: journaled (so a resume re-runs the job) and folded
-        // into the cell's `failed` section so the rest of the sweep
-        // completes.
-        if (!options.quarantine) std::rethrow_exception(done.error);
+        // completions are simply dropped.  While draining, a failure is
+        // not an error: the job simply stays not-done and the resume
+        // re-runs it.  With quarantine, the failure becomes data:
+        // journaled (so a resume re-runs the job) and folded into the
+        // cell's `failed` section so the rest of the sweep completes.
+        if (!options.quarantine) {
+          if (draining) continue;
+          std::rethrow_exception(done.error);
+        }
         ++stats.jobs_failed;
         FailureRecord failure;
         failure.attempts = done.attempts;
@@ -561,7 +811,9 @@ StreamStats SweepRunner::run_streaming(const SweepSpec& spec, ResultSink& sink,
         outcome.error = std::move(done.error_text);
         resident.emplace(done.job_index, std::move(outcome));
       } else {
-        if (journal) journal->append(done.job_index, seed, done.result);
+        if (journal) {
+          journal->append(done.job_index, seed, done.result, done_cell_hash);
+        }
         JobOutcome outcome;
         outcome.result = std::move(done.result);
         outcome.attempts = done.attempts;
@@ -580,9 +832,32 @@ StreamStats SweepRunner::run_streaming(const SweepSpec& spec, ResultSink& sink,
       ++fold_pos;
       --outstanding;
     }
+    if (options.progress != nullptr) {
+      options.progress->store(static_cast<std::uint64_t>(fold_pos),
+                              std::memory_order_relaxed);
+    }
   }
 
-  pool.wait_idle();  // All owned jobs folded, so this returns immediately.
+  if (draining) {
+    // Checkpoint: every issued completion is journaled; make it durable.
+    // The sink never sees end-of-stream — its output is torn by design
+    // (the caller discards it and resumes the journal later).
+    journal->sync();
+    journal->close();
+    stats.drained = true;
+    stats.jobs_used = pool.worker_count();
+    stats.tasks_stolen = pool.steal_count();
+    stats.cells_emitted = folder.cells_emitted();
+    stats.cells_failed = folder.cells_failed();
+    stats.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    return stats;
+  }
+
+  if (owned_pool) {
+    owned_pool->wait_idle();  // All owned jobs folded: returns immediately.
+  }
   sink.end();
   if (journal) journal->close();
 

@@ -21,6 +21,7 @@
 //                     single-machine run of the full grid produces.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -35,7 +36,8 @@
 
 namespace allarm::runner {
 
-class ResultSink;  // runner/sink.hh
+class ResultSink;   // runner/sink.hh
+class ThreadPool;   // runner/thread_pool.hh
 
 /// One point on the configuration axis: a labelled machine variant.
 struct ConfigPoint {
@@ -112,6 +114,17 @@ SweepMeta meta_of(const SweepSpec& spec);
 /// but NOT two different custom factories, so callers substituting
 /// factories must not resume across factory changes.
 std::uint64_t spec_hash(const SweepSpec& spec);
+
+/// Identity hash of ONE grid cell: everything that determines that cell's
+/// results — workload name, config point, mode, policy, replicates,
+/// per-replicate seeds, access budget, workload source — plus the cell's
+/// grid position (a reordered grid is a different binding of results to
+/// cells).  The per-cell analogue of spec_hash: journals stamp it into
+/// every job payload so an incremental re-sweep (StreamOptions::
+/// resume_cells) can keep journaled cells whose definition is unchanged
+/// and re-run exactly the ones a spec edit invalidated.  Same caveat as
+/// spec_hash: a custom make_workload factory hashes by presence only.
+std::uint64_t cell_hash(const SweepSpec& spec, std::uint64_t cell_index);
 
 /// One quarantined replicate of a cell: the job failed every attempt and
 /// the sweep degraded gracefully instead of aborting (see
@@ -193,16 +206,53 @@ struct SweepResult {
 struct ShardSpec {
   std::uint32_t index = 1;
   std::uint32_t count = 1;
+  /// Optional explicit partition: assignment[cell] is the owning shard
+  /// (1-based), one entry per grid cell.  Empty = round-robin by cell.
+  /// Built by plan_shards() from measured per-cell costs so one slow cell
+  /// stops gating every shard's wall clock.  The assignment is NOT stored
+  /// in the journal header — resuming a planned shard requires recomputing
+  /// the same assignment (same cost journal), which plan_shards makes
+  /// deterministic; --merge never checks ownership, so merging planned
+  /// shards needs nothing extra.
+  std::vector<std::uint32_t> assignment;
 
   /// True when this shard owns cell `cell_index` (round-robin by cell, so
-  /// adjacent — similarly expensive — cells spread across shards).
+  /// adjacent — similarly expensive — cells spread across shards; with an
+  /// explicit assignment, whatever the plan says).
   bool owns_cell(std::uint64_t cell_index) const {
+    if (!assignment.empty()) {
+      return cell_index < assignment.size() &&
+             assignment[cell_index] == index;
+    }
     return cell_index % count == static_cast<std::uint64_t>(index) - 1;
   }
 
-  /// Throws std::invalid_argument unless 1 <= index <= count.
+  /// Throws std::invalid_argument unless 1 <= index <= count and every
+  /// assignment entry (when present) names a shard in [1, count].
   void validate() const;
 };
+
+/// Deterministic cost-aware shard plan: assigns each cell to a shard by
+/// greedy longest-processing-time-first (heaviest cell to the least-loaded
+/// shard; ties broken by cell index, then lowest shard index), so measured
+/// stragglers spread instead of landing round-robin on one machine.
+/// `cell_costs` is one positive weight per cell (relative units — only
+/// ratios matter).  Returns a 1-based owner per cell, usable as
+/// ShardSpec::assignment.  Throws std::invalid_argument on an empty cost
+/// vector or shard_count == 0.
+std::vector<std::uint32_t> plan_shards(const std::vector<double>& cell_costs,
+                                       std::uint32_t shard_count);
+
+/// Measured per-cell costs from a prior journal of the SAME GRID SHAPE:
+/// the sum of each cell's journaled per-job wall_ns (last record wins;
+/// quarantined or missing jobs contribute the mean measured job cost so a
+/// hole never zeroes a cell).  The journal does not need to match the
+/// spec's hash — costs are advisory (a cheaper timing run of the same grid
+/// plans a full run fine); a wrong cost model only unbalances shards, it
+/// never changes a byte of output.  Throws when the journal's job count
+/// differs from the spec's.
+std::vector<double> cell_costs_from_journal(const SweepSpec& spec,
+                                            const std::string& journal_path);
 
 /// Options for run_streaming().
 struct StreamOptions {
@@ -215,6 +265,18 @@ struct StreamOptions {
   /// are not re-run; their results replay from disk into the sink.  The
   /// journal's spec hash, shard and per-job seeds must match `spec`.
   bool resume = false;
+  /// Per-cell incremental resume (implies journal use; combine with
+  /// `resume` semantics): instead of refusing a journal whose spec hash
+  /// differs, rebind it (Journal::open_rebind) and keep exactly the
+  /// journaled jobs whose payload cell hash still matches cell_hash(spec,
+  /// cell) and whose seed matches the spec's derivation — every other job
+  /// re-runs and supersedes its stale record.  An unchanged spec resumes
+  /// everything (identical to `resume`); an edited spec re-runs only the
+  /// cells the edit invalidated.  Requires shard.count == 1 (a changed
+  /// grid cannot be re-partitioned against stale shard journals).  A
+  /// missing journal is created fresh, so one code path serves first run
+  /// and re-run.
+  bool resume_cells = false;
   ShardSpec shard;
   /// Upper bound on jobs in flight plus finished-but-unfolded results —
   /// the knob that makes peak residency O(jobs) instead of O(grid).
@@ -242,6 +304,28 @@ struct StreamOptions {
   std::uint64_t cell_timeout_ns = 0;
   /// Quarantine permanently failing jobs instead of aborting the sweep.
   bool quarantine = false;
+
+  // --- Service hooks (docs/SERVICE.md) ------------------------------------
+
+  /// Shared worker pool: when non-null, jobs are submitted to this pool
+  /// instead of a private one, so several concurrent run_streaming calls
+  /// (the sweep service's requests) multiplex onto one set of workers.
+  /// The pool must outlive the call; run_streaming never calls
+  /// wait_idle() on a shared pool (that would block on other callers'
+  /// jobs) — it tracks its own in-flight count.  Byte-output is unchanged:
+  /// the pool only schedules, the fold is still grid-ordered.
+  ThreadPool* pool = nullptr;
+  /// Cooperative drain flag: when non-null and it becomes true, the run
+  /// stops issuing new jobs, journals every already-issued completion,
+  /// syncs the journal, skips the sink's end-of-stream, and returns with
+  /// StreamStats::drained set.  Requires a journal (a drained run without
+  /// one would simply lose work).  The sink's output is torn-at-a-cell-
+  /// boundary by design — callers discard it and re-run with resume.
+  const std::atomic<bool>* stop = nullptr;
+  /// When non-null, stores the count of jobs folded so far (resumed +
+  /// executed) after each fold step — a lock-free progress gauge for
+  /// health reporting.  Written with memory_order_relaxed.
+  std::atomic<std::uint64_t>* progress = nullptr;
 };
 
 /// Execution metadata of one run_streaming() call.  Never serialized into
@@ -268,7 +352,20 @@ struct StreamStats {
   std::uint64_t jobs_retried = 0;
   /// Cells emitted with at least one quarantined replicate.
   std::uint64_t cells_failed = 0;
+  /// True when StreamOptions::stop ended the run early: all issued jobs
+  /// were journaled and synced, but the sink never saw end-of-stream and
+  /// the remaining jobs never ran.  Resume the journal to finish.
+  bool drained = false;
 };
+
+/// Backoff before retry `attempt` (1-based) of job `job_index`:
+/// `base_ms << (attempt - 1)` plus deterministic jitter in
+/// [0, base_ms/2] derived from the job coordinate, so simultaneous
+/// failures across jobs (or service requests) don't retry in lockstep
+/// while identical runs still reproduce identical schedules.  base_ms == 0
+/// disables backoff entirely (returns 0 — tests rely on this).
+std::uint64_t retry_backoff_ms(std::uint32_t base_ms, std::uint32_t attempt,
+                               std::uint64_t job_index);
 
 /// Executes sweeps on a work-stealing pool.
 class SweepRunner {

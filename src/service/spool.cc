@@ -1,0 +1,262 @@
+#include "service/spool.hh"
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+
+#include "common/failpoint.hh"
+#include "common/fileio.hh"
+
+namespace allarm::service {
+
+namespace {
+
+constexpr const char* kQueueDir = "queue";
+constexpr const char* kRequestsDir = "requests";
+constexpr const char* kJsonSuffix = ".json";
+
+[[noreturn]] void fail_errno(const std::string& path, const char* what) {
+  throw std::runtime_error(path + ": " + what + ": " + std::strerror(errno));
+}
+
+void ensure_dir(const std::string& path) {
+  if (::mkdir(path.c_str(), 0755) != 0 && errno != EEXIST) {
+    fail_errno(path, "mkdir");
+  }
+}
+
+bool exists(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+void rename_or_throw(const std::string& from, const std::string& to) {
+  if (std::rename(from.c_str(), to.c_str()) != 0) {
+    fail_errno(from, ("rename to " + to).c_str());
+  }
+}
+
+/// Names in `dir`, filtered by `keep`, sorted (directory order is
+/// filesystem-dependent; the service's scheduling must not be).
+std::vector<std::string> list_dir(const std::string& dir,
+                                  bool (*keep)(const struct dirent&)) {
+  DIR* handle = ::opendir(dir.c_str());
+  if (handle == nullptr) fail_errno(dir, "opendir");
+  std::vector<std::string> names;
+  errno = 0;
+  while (struct dirent* entry = ::readdir(handle)) {
+    if (entry->d_name[0] == '.') continue;  // ., .., hidden temp files.
+    if (keep(*entry)) names.emplace_back(entry->d_name);
+    errno = 0;
+  }
+  const int saved = errno;
+  ::closedir(handle);
+  if (saved != 0) {
+    errno = saved;
+    fail_errno(dir, "readdir");
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+/// Polls a service failpoint.  kError throws, kDelay sleeps and proceeds;
+/// actions these whole-file sites cannot express degrade to an error so a
+/// schedule never silently misses (same contract as the fileio sites).
+void poll_failpoint(const char* site, const std::string& path) {
+  const failpoint::Hit hit = failpoint::check(site);
+  if (!hit) return;
+  if (hit.action == failpoint::Action::kDelay) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(hit.arg));
+    return;
+  }
+  throw std::runtime_error(path + ": injected fault (failpoint " +
+                           std::string(site) + ")");
+}
+
+/// Durable write-then-rename: `content` lands at `path` either whole or
+/// not at all, and survives power loss once this returns.
+void replace_file_durable(const std::string& path, const std::string& content,
+                          const std::string& dir) {
+  const std::string tmp = dir + "/.tmp-" + path.substr(dir.size() + 1);
+  write_file_durable(tmp, content);
+  rename_or_throw(tmp, path);
+  sync_directory(dir);
+}
+
+}  // namespace
+
+const char* to_string(RequestState state) {
+  switch (state) {
+    case RequestState::kPending: return "pending";
+    case RequestState::kRunning: return "running";
+    case RequestState::kDone: return "done";
+    case RequestState::kFailed: return "failed";
+    case RequestState::kQuarantined: return "quarantined";
+    case RequestState::kRejected: return "rejected";
+  }
+  return "unknown";
+}
+
+bool request_state_from_string(const std::string& text, RequestState* state) {
+  for (const RequestState candidate :
+       {RequestState::kPending, RequestState::kRunning, RequestState::kDone,
+        RequestState::kFailed, RequestState::kQuarantined,
+        RequestState::kRejected}) {
+    if (text == to_string(candidate)) {
+      *state = candidate;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Spool::valid_id(const std::string& id) {
+  if (id.empty() || id.size() > 200) return false;
+  if (id[0] == '.') return false;
+  for (const char c : id) {
+    if (c == '/' || c == '\0') return false;
+  }
+  return true;
+}
+
+Spool::Spool(std::string root) : root_(std::move(root)) {
+  ensure_dir(root_);
+  ensure_dir(root_ + "/" + kQueueDir);
+  ensure_dir(root_ + "/" + kRequestsDir);
+}
+
+std::string Spool::queue_path(const std::string& id) const {
+  return root_ + "/" + kQueueDir + "/" + id + kJsonSuffix;
+}
+
+std::string Spool::request_dir(const std::string& id) const {
+  return root_ + "/" + kRequestsDir + "/" + id;
+}
+
+std::string Spool::request_json(const std::string& id) const {
+  return request_dir(id) + "/request.json";
+}
+
+std::string Spool::journal_path(const std::string& id) const {
+  return request_dir(id) + "/journal.bin";
+}
+
+std::string Spool::report_json(const std::string& id) const {
+  return request_dir(id) + "/report.json";
+}
+
+std::string Spool::report_csv(const std::string& id) const {
+  return request_dir(id) + "/report.csv";
+}
+
+std::string Spool::health_path() const { return root_ + "/health.json"; }
+
+std::string Spool::enqueue(const std::string& root, const std::string& id,
+                           const std::string& json_text) {
+  if (!valid_id(id)) {
+    throw std::invalid_argument("spool id '" + id +
+                                "' is not a plain file name");
+  }
+  const std::string queue = root + "/" + kQueueDir;
+  ensure_dir(root);
+  ensure_dir(queue);
+  // Hidden temp name (scan skips dotfiles), unique per producer process so
+  // concurrent enqueues of different ids never collide mid-write.
+  const std::string tmp =
+      queue + "/.tmp-" + std::to_string(::getpid()) + "-" + id;
+  write_file_durable(tmp, json_text);
+  const std::string target = queue + "/" + id + kJsonSuffix;
+  rename_or_throw(tmp, target);
+  sync_directory(queue);
+  return target;
+}
+
+std::vector<std::string> Spool::queued() const {
+  poll_failpoint("service.scan", root_ + "/" + kQueueDir);
+  std::vector<std::string> ids = list_dir(
+      root_ + "/" + kQueueDir, [](const struct dirent& entry) {
+        const std::size_t len = std::strlen(entry.d_name);
+        return len > std::strlen(kJsonSuffix) &&
+               std::strcmp(entry.d_name + len - std::strlen(kJsonSuffix),
+                           kJsonSuffix) == 0;
+      });
+  for (std::string& id : ids) {
+    id.resize(id.size() - std::strlen(kJsonSuffix));
+  }
+  return ids;
+}
+
+void Spool::admit(const std::string& id) {
+  if (!valid_id(id)) {
+    throw std::invalid_argument("spool id '" + id +
+                                "' is not a plain file name");
+  }
+  const std::string dir = request_dir(id);
+  ensure_dir(dir);
+  // Crash windows: after the mkdir the queue file is still in place (the
+  // next scan retries); after the rename the request is accepted even if
+  // the state write never happened (state() reads a missing file as
+  // pending).  The rename is the commit point.
+  rename_or_throw(queue_path(id), request_json(id));
+  sync_directory(dir);
+  sync_directory(root_ + "/" + kQueueDir);
+  set_state(id, RequestState::kPending);
+}
+
+std::vector<std::string> Spool::requests() const {
+  return list_dir(root_ + "/" + kRequestsDir,
+                  [](const struct dirent&) { return true; });
+}
+
+RequestState Spool::state(const std::string& id) const {
+  const std::string path = request_dir(id) + "/state";
+  if (!exists(path)) return RequestState::kPending;
+  std::string word = read_file(path);
+  while (!word.empty() && (word.back() == '\n' || word.back() == ' ')) {
+    word.pop_back();
+  }
+  RequestState state;
+  if (!request_state_from_string(word, &state)) {
+    throw std::runtime_error(path + ": unrecognized state '" + word + "'");
+  }
+  return state;
+}
+
+void Spool::set_state(const std::string& id, RequestState state,
+                      const std::string& error) {
+  poll_failpoint("service.state", request_dir(id) + "/state");
+  const std::string dir = request_dir(id);
+  // The error file first: once the state word commits, everything it
+  // points at must already be durable.
+  const std::string error_path = dir + "/error";
+  if (!error.empty()) {
+    replace_file_durable(error_path, error + "\n", dir);
+  } else if (exists(error_path)) {
+    ::unlink(error_path.c_str());
+  }
+  replace_file_durable(dir + "/state", std::string(to_string(state)) + "\n",
+                       dir);
+}
+
+std::string Spool::error(const std::string& id) const {
+  const std::string path = request_dir(id) + "/error";
+  if (!exists(path)) return "";
+  std::string text = read_file(path);
+  while (!text.empty() && text.back() == '\n') text.pop_back();
+  return text;
+}
+
+void Spool::write_health(const std::string& json) const {
+  poll_failpoint("service.health", health_path());
+  replace_file_durable(health_path(), json, root_);
+}
+
+}  // namespace allarm::service

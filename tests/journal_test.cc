@@ -166,12 +166,23 @@ TEST(RunResultSerialization, RoundTrips) {
 }
 
 TEST(RunResultSerialization, ReadsPreWallNsPayloadsAsUnmeasured) {
-  // Journals written before the wall_ns field end right after the stats
-  // section; the reader must accept them and report "not recorded".
+  // The trailing optional section grows field by field: journals written
+  // before wall_ns end right after the stats, ones written before the
+  // cell hash end right after wall_ns.  The reader must accept each
+  // vintage and report the missing fields as "not recorded" (zero).
   const std::string blob = runner::serialize_run_result(sample_result(5));
-  const std::string legacy = blob.substr(0, blob.size() - sizeof(std::uint64_t));
+  const std::string pre_hash =
+      blob.substr(0, blob.size() - sizeof(std::uint64_t));
+  std::uint64_t hash = 42;
+  const core::RunResult no_hash = runner::deserialize_run_result(
+      pre_hash.data(), pre_hash.size(), &hash);
+  EXPECT_EQ(no_hash.wall_ns, sample_result(5).wall_ns);
+  EXPECT_EQ(hash, 0u);
+
+  const std::string pre_wall =
+      blob.substr(0, blob.size() - 2 * sizeof(std::uint64_t));
   const core::RunResult restored =
-      runner::deserialize_run_result(legacy.data(), legacy.size());
+      runner::deserialize_run_result(pre_wall.data(), pre_wall.size());
   EXPECT_EQ(restored.wall_ns, 0u);
   EXPECT_EQ(restored.runtime, sample_result(5).runtime);
 }
@@ -813,6 +824,108 @@ TEST(Streaming, ResumeFromAnyKillPointReproducesTheReport) {
     remove_journal(crash);
   }
   remove_journal(full);
+}
+
+// ------------------------------------- per-cell incremental re-sweep ----
+
+TEST(ResumeCells, CellHashBindsIdentityConfigAndSeeds) {
+  const auto spec = tiny_spec();
+  // Distinct per cell, stable per call.
+  std::set<std::uint64_t> hashes;
+  for (std::uint64_t cell = 0; cell < spec.cell_count(); ++cell) {
+    const std::uint64_t h = runner::cell_hash(spec, cell);
+    EXPECT_EQ(h, runner::cell_hash(spec, cell));
+    hashes.insert(h);
+  }
+  EXPECT_EQ(hashes.size(), spec.cell_count());
+  EXPECT_THROW(runner::cell_hash(spec, spec.cell_count()), std::out_of_range);
+
+  // A config edit moves the hash of cells using that config.
+  auto edited = spec;
+  edited.configs[0].config.l2.size_bytes *= 2;
+  EXPECT_NE(runner::cell_hash(edited, 0), runner::cell_hash(spec, 0));
+  // A base-seed change moves every cell (replicate seeds are identity).
+  auto reseeded = spec;
+  reseeded.base_seed += 1;
+  for (std::uint64_t cell = 0; cell < spec.cell_count(); ++cell) {
+    EXPECT_NE(runner::cell_hash(reseeded, cell), runner::cell_hash(spec, cell));
+  }
+}
+
+TEST(ResumeCells, EditedConfigRerunsOnlyItsCells) {
+  // Two configs: editing one must invalidate exactly its half of the grid.
+  auto spec = tiny_spec();
+  auto big = tiny_config();
+  big.l2 = CacheConfig{64 * kLineBytes, 4, ticks_from_ns(1.0)};
+  spec.configs.push_back({"big", big});  // 2 wl x 2 cfg x 2 modes = 8 cells.
+
+  const std::string path = temp_path("journal");
+  remove_journal(path);
+  runner::StreamOptions options;
+  options.journal_path = path;
+  options.resume_cells = true;  // Missing journal: created fresh.
+  runner::StreamStats stats;
+  stream_json(spec, 2, options, &stats);
+  EXPECT_EQ(stats.jobs_executed, spec.job_count());
+
+  // Identical resubmission: everything resumes, nothing runs.
+  const std::string replay = stream_json(spec, 2, options, &stats);
+  EXPECT_EQ(stats.jobs_executed, 0u);
+  EXPECT_EQ(stats.jobs_resumed, spec.job_count());
+
+  // Edit the "big" config: its 4 cells (8 jobs) re-run, the "small" 8
+  // jobs resume, and the merged bytes equal an uninterrupted run of the
+  // edited spec.
+  auto edited = spec;
+  edited.configs[1].config.l2.ways = 8;
+  const std::string reference = stream_json(edited, 2);
+  const std::string incremental = stream_json(edited, 2, options, &stats);
+  EXPECT_EQ(stats.jobs_executed, spec.job_count() / 2);
+  EXPECT_EQ(stats.jobs_resumed, spec.job_count() / 2);
+  EXPECT_EQ(incremental, reference);
+  remove_journal(path);
+}
+
+TEST(ResumeCells, SeedChangeRebindsAndRerunsEverything) {
+  const auto spec = tiny_spec();
+  const std::string path = temp_path("journal");
+  remove_journal(path);
+  runner::StreamOptions options;
+  options.journal_path = path;
+  options.resume_cells = true;
+  stream_json(spec, 2, options);
+
+  // resume_cells rebinds instead of refusing: the new base seed
+  // invalidates every recorded job, so the whole grid re-runs, and the
+  // journal is durably re-stamped for the new identity.
+  auto reseeded = spec;
+  reseeded.base_seed = 4242;
+  runner::StreamStats stats;
+  const std::string got = stream_json(reseeded, 2, options, &stats);
+  EXPECT_EQ(stats.jobs_executed, spec.job_count());
+  EXPECT_EQ(stats.jobs_resumed, 0u);
+  EXPECT_EQ(got, stream_json(reseeded, 2));
+
+  // And the rebound journal now resumes under the new identity.
+  const std::string replay = stream_json(reseeded, 2, options, &stats);
+  EXPECT_EQ(stats.jobs_executed, 0u);
+  EXPECT_EQ(stats.jobs_resumed, spec.job_count());
+  EXPECT_EQ(replay, got);
+  remove_journal(path);
+}
+
+TEST(ResumeCells, RequiresUnshardedRunWithJournal) {
+  const auto spec = tiny_spec();
+  std::ostringstream out;
+  runner::JsonStreamSink sink(out);
+  runner::StreamOptions options;
+  options.resume_cells = true;  // No journal path.
+  EXPECT_THROW(runner::SweepRunner(1).run_streaming(spec, sink, options),
+               std::invalid_argument);
+  options.journal_path = temp_path("journal");
+  options.shard = {1, 2, {}};
+  EXPECT_THROW(runner::SweepRunner(1).run_streaming(spec, sink, options),
+               std::invalid_argument);
 }
 
 // ------------------------------------------------------- loud I/O failure ----
