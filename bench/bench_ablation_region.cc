@@ -93,6 +93,7 @@ std::string to_json(const std::vector<StageResult>& results,
   out << "{\n";
   out << "  \"bench\": \"region\",\n";
   out << "  \"schema_version\": 1,\n";
+  out << meta_json();
   out << "  \"accesses_per_thread\": " << opt.accesses << ",\n";
   out << "  \"reps\": " << opt.reps << ",\n";
   out << "  \"workloads\": [\n";

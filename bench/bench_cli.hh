@@ -6,6 +6,7 @@
 
 #include <cstddef>
 #include <string>
+#include <thread>
 
 namespace allarm::bench {
 
@@ -22,6 +23,27 @@ inline bool selected(const std::string& only, const std::string& name) {
     pos = comma + 1;
   }
   return false;
+}
+
+/// Provenance block stamped into every BENCH_*.json, emitted right after
+/// schema_version: git revision and build type (compile definitions from
+/// CMake; "unknown" when built outside the tree) plus the host core count.
+/// check_bench.py ignores unknown top-level keys, so trajectories written
+/// before this block compare cleanly against ones written after.
+inline std::string meta_json() {
+#if defined(ALLARM_GIT_DESCRIBE)
+  const char* git = ALLARM_GIT_DESCRIBE;
+#else
+  const char* git = "unknown";
+#endif
+#if defined(ALLARM_BUILD_TYPE)
+  const char* build = ALLARM_BUILD_TYPE;
+#else
+  const char* build = "unknown";
+#endif
+  return std::string("  \"meta\": {\"git\": \"") + git + "\", \"build_type\": \"" +
+         build + "\", \"cores\": " +
+         std::to_string(std::thread::hardware_concurrency()) + "},\n";
 }
 
 }  // namespace allarm::bench

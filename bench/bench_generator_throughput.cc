@@ -139,6 +139,7 @@ std::string to_json(const std::vector<GenResult>& results,
   out << "{\n";
   out << "  \"bench\": \"generator_throughput\",\n";
   out << "  \"schema_version\": 1,\n";
+  out << meta_json();
   out << "  \"accesses_per_thread\": " << opt.accesses << ",\n";
   out << "  \"reps\": " << opt.reps << ",\n";
   out << "  \"workloads\": [\n";

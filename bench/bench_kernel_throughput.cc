@@ -118,6 +118,7 @@ std::string to_json(const std::vector<WorkloadResult>& results,
   out << "{\n";
   out << "  \"bench\": \"kernel_throughput\",\n";
   out << "  \"schema_version\": 1,\n";
+  out << meta_json();
   out << "  \"accesses_per_thread\": " << opt.accesses << ",\n";
   out << "  \"reps\": " << opt.reps << ",\n";
   out << "  \"workloads\": [\n";

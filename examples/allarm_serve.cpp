@@ -5,7 +5,11 @@
 //
 //   allarm_serve --root DIR [--workers N] [--max-active N] [--max-cells N]
 //                [--poll-ms N] [--drain-ms N] [--exit-when-idle]
-//                [--failpoints SPEC]
+//                [--failpoints SPEC] [--timeline FILE]
+//
+// --timeline records a Chrome trace-event JSON timeline of the service run
+// (request lifecycle, scheduling, journal and simulation spans) and writes
+// it at exit; load it in Perfetto.  See docs/OBSERVABILITY.md.
 //
 //   SIGTERM/SIGINT   graceful drain: in-flight jobs finish and are
 //                    journaled, states stay `running` (resumed on the next
@@ -31,6 +35,7 @@
 
 #include "common/failpoint.hh"
 #include "common/fileio.hh"
+#include "obs/timeline.hh"
 #include "service/service.hh"
 #include "service/spool.hh"
 
@@ -46,6 +51,7 @@ void usage(std::ostream& out) {
   out << "usage: allarm_serve --root DIR [--workers N] [--max-active N]\n"
          "                    [--max-cells N] [--poll-ms N] [--drain-ms N]\n"
          "                    [--exit-when-idle] [--failpoints SPEC]\n"
+         "                    [--timeline FILE]\n"
          "       allarm_serve --root DIR --enqueue FILE --as NAME\n";
 }
 
@@ -68,6 +74,7 @@ int main(int argc, char** argv) {
   std::string enqueue_file;
   std::string enqueue_as;
   std::string failpoint_spec;
+  std::string timeline_path;
 
   const auto value = [&](int& i) -> std::string {
     if (i + 1 >= argc) {
@@ -99,6 +106,8 @@ int main(int argc, char** argv) {
         config.exit_when_idle = true;
       } else if (std::strcmp(arg, "--failpoints") == 0) {
         failpoint_spec = value(i);
+      } else if (std::strcmp(arg, "--timeline") == 0) {
+        timeline_path = value(i);
       } else if (std::strcmp(arg, "--enqueue") == 0) {
         enqueue_file = value(i);
       } else if (std::strcmp(arg, "--as") == 0) {
@@ -149,8 +158,16 @@ int main(int argc, char** argv) {
     ::sigaction(SIGTERM, &action, nullptr);
     ::sigaction(SIGINT, &action, nullptr);
 
+    if (!timeline_path.empty()) allarm::obs::Timeline::enable();
     allarm::service::Service service(config);
-    return service.run(g_stop);
+    const int code = service.run(g_stop);
+    // Observability output last: a failed timeline write logs loudly but
+    // the service outcome above stands, so the exit code is unchanged.
+    if (!timeline_path.empty() &&
+        allarm::obs::Timeline::write(timeline_path)) {
+      std::cerr << "wrote " << timeline_path << "\n";
+    }
+    return code;
   } catch (const std::exception& e) {
     std::cerr << "allarm_serve: " << e.what() << "\n";
     return 1;

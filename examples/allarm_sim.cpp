@@ -18,6 +18,10 @@
 //   --par-shards N       split the event queue into N lanes (must divide
 //                        the mesh width; docs/PARALLEL.md)
 //   --par-mode MODE      barrier (default, byte-identical to serial) | lax
+//   --profile            record latency histograms; prints hist.* rows
+//                        (p50/p95/p99/max per metric) after each run
+//   --timeline FILE      write a Chrome trace-event JSON timeline of the
+//                        run (load in Perfetto / chrome://tracing)
 //   --list               list available benchmarks and exit
 #include <cstdlib>
 #include <cstring>
@@ -29,6 +33,7 @@
 #include "common/stats.hh"
 #include "core/experiment.hh"
 #include "core/system.hh"
+#include "obs/timeline.hh"
 #include "workload/profiles.hh"
 #include "workload/trace.hh"
 
@@ -50,6 +55,8 @@ struct Options {
   std::uint32_t migrate_us = 0;
   std::uint64_t seed = 42;
   bool full_stats = false;
+  bool profile = false;
+  std::string timeline;
   parallel::ParConfig par;
 };
 
@@ -60,7 +67,8 @@ struct Options {
       "                  [--pf-kb N] [--pf-ways N] [--policy first-touch|interleave]\n"
       "                  [--eviction-buffer] [--serial-probe] [--migrate-us N]\n"
       "                  [--seed N] [--full-stats] [--par-shards N]\n"
-      "                  [--par-mode barrier|lax] [--list]\n";
+      "                  [--par-mode barrier|lax] [--profile]\n"
+      "                  [--timeline FILE] [--list]\n";
   std::exit(code);
 }
 
@@ -85,6 +93,8 @@ Options parse(int argc, char** argv) {
     else if (a == "--migrate-us") o.migrate_us = std::strtoul(value(i), nullptr, 10);
     else if (a == "--seed") o.seed = std::strtoull(value(i), nullptr, 10);
     else if (a == "--full-stats") o.full_stats = true;
+    else if (a == "--profile") o.profile = true;
+    else if (a == "--timeline") o.timeline = value(i);
     else if (a == "--par-shards") {
       o.par.shards = std::strtoul(value(i), nullptr, 10);
       if (o.par.shards == 0) {
@@ -124,7 +134,18 @@ core::RunResult run_mode(const Options& o, const SystemConfig& config,
   options.seed = o.seed;
   options.migration_interval = ticks_from_ns(1000.0) * o.migrate_us;
   options.par = o.par;
+  options.profile = o.profile;
+  OBS_SPAN("sim.run", "sim");
   return system.run(spec, options);
+}
+
+/// ROI latency histograms (--profile), printed as `hist.*` rows through the
+/// same export_to() naming the sweep report uses, so both surfaces agree.
+void print_profile(const core::RunResult& r) {
+  if (r.profile.empty()) return;
+  StatSet hist;
+  for (const auto& [name, h] : r.profile) h.export_to(hist, "hist." + name);
+  std::cout << hist.to_string();
 }
 
 void print_run(const std::string& label, const core::RunResult& r,
@@ -132,6 +153,7 @@ void print_run(const std::string& label, const core::RunResult& r,
   std::cout << "--- " << label << " ---\n";
   if (full) {
     std::cout << r.stats.to_string();
+    print_profile(r);
     return;
   }
   TextTable t({"metric", "value"});
@@ -150,12 +172,14 @@ void print_run(const std::string& label, const core::RunResult& r,
   row("NoC energy (nJ)", "energy.noc_nj", 1);
   row("PF energy (nJ)", "energy.pf_nj", 1);
   std::cout << t.to_string();
+  print_profile(r);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const Options o = parse(argc, argv);
+  if (!o.timeline.empty()) obs::Timeline::enable();
 
   SystemConfig config;
   config.probe_filter_coverage_bytes = o.pf_kb * 1024;
@@ -212,6 +236,11 @@ int main(int argc, char** argv) {
               << TextTable::fmt(
                      allarm->stats.normalized_to(base->stats, "noc.bytes"), 3)
               << '\n';
+  }
+  // Observability output last: a failed timeline write logs loudly but the
+  // simulation results above already stand, so the exit code is unchanged.
+  if (!o.timeline.empty() && obs::Timeline::write(o.timeline)) {
+    std::cerr << "wrote " << o.timeline << "\n";
   }
   return 0;
 }

@@ -51,6 +51,16 @@
 //                        replicate) in the JSON report.  Off by default:
 //                        wall clock varies run to run, and the canonical
 //                        report must stay byte-identical for one spec
+//   --profile            record latency histograms in every job (access
+//                        request->completion, directory occupancy, mesh
+//                        queueing) and include per-cell "hist" quantiles
+//                        (p50/p95/p99/max) in the JSON report.  Off by
+//                        default for the same reason as --timing
+//   --timeline FILE      write a Chrome trace-event timeline of the
+//                        sweep's wall-clock spans (jobs, journal appends,
+//                        fsyncs, sink writes, PDES windows) to FILE; load
+//                        it in Perfetto (docs/OBSERVABILITY.md).  Pure
+//                        side effect: reports are byte-identical
 //   --capture DIR        additionally capture every job's executed access
 //                        stream to DIR/job-<index>.altr (.altr binary
 //                        traces; see docs/TRACES.md).  Reports unchanged
@@ -113,6 +123,7 @@
 #include "common/failpoint.hh"
 #include "common/fileio.hh"
 #include "core/experiment.hh"
+#include "obs/timeline.hh"
 #include "parallel/partition.hh"
 #include "runner/grids.hh"
 #include "runner/report.hh"
@@ -141,6 +152,8 @@ struct Options {
   std::vector<std::string> merge;
   std::size_t window = 0;
   bool timing = false;
+  bool profile = false;
+  std::string timeline;
   std::string capture_dir;
   std::string replay_dir;
   std::vector<std::string> traces;
@@ -160,6 +173,7 @@ struct Options {
       "             [--csv FILE] [--journal FILE [--resume|--resume-cells]]\n"
       "             [--shard K/N [--cost-from FILE]]\n"
       "             [--merge FILE]... [--window N] [--timing]\n"
+      "             [--profile] [--timeline FILE]\n"
       "             [--capture DIR] [--replay DIR]\n"
       "             [--trace FILE]... [--cores LIST] [--list]\n"
       "             [--cell-retries N] [--cell-backoff-ms N]\n"
@@ -281,6 +295,7 @@ runner::SweepSpec make_grid(const Options& options) {
   spec.capture_dir = options.capture_dir;
   spec.replay_dir = options.replay_dir;
   spec.par = options.par;
+  spec.profile = options.profile;
   return spec;
 }
 
@@ -345,6 +360,10 @@ Options parse(int argc, char** argv) {
       options.window = std::strtoull(value(i), nullptr, 10);
     } else if (std::strcmp(arg, "--timing") == 0) {
       options.timing = true;
+    } else if (std::strcmp(arg, "--profile") == 0) {
+      options.profile = true;
+    } else if (std::strcmp(arg, "--timeline") == 0) {
+      options.timeline = value(i);
     } else if (std::strcmp(arg, "--capture") == 0) {
       options.capture_dir = value(i);
     } else if (std::strcmp(arg, "--replay") == 0) {
@@ -491,12 +510,21 @@ void finish_reports(runner::ReportFiles& reports, const Options& options) {
   reports.commit();
   if (!options.out.empty()) std::cerr << "wrote " << options.out << "\n";
   if (!options.csv.empty()) std::cerr << "wrote " << options.csv << "\n";
+  // The timeline is observability, not results: a failed write already
+  // logged loudly, and the committed reports above stand either way.
+  if (!options.timeline.empty() &&
+      obs::Timeline::write(options.timeline)) {
+    std::cerr << "wrote " << options.timeline << "\n";
+  }
 }
 
 }  // namespace
 
 int main(int argc, char** argv) try {
   const Options options = parse(argc, argv);
+  // Arm the span recorder before any instrumented work (worker threads
+  // check the flag once per span; disabled recording is a relaxed load).
+  if (!options.timeline.empty()) obs::Timeline::enable();
   std::string failpoints = allarm::failpoint::configure_from_env();
   if (!options.failpoints.empty()) {
     allarm::failpoint::configure(options.failpoints);
@@ -508,7 +536,8 @@ int main(int argc, char** argv) try {
   if (!options.capture_dir.empty()) ensure_directory(options.capture_dir);
   const runner::SweepSpec spec = make_grid(options);
 
-  runner::ReportFiles reports(options.out, options.csv, options.timing);
+  runner::ReportFiles reports(options.out, options.csv, options.timing,
+                              options.profile);
 
   if (!options.merge.empty()) {
     std::cerr << "merging " << options.merge.size() << " journal(s) of sweep '"

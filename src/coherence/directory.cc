@@ -79,6 +79,7 @@ void DirectoryController::release_and_drain(LineAddr line) {
 void DirectoryController::handle_request(const Request& r) {
   ++stats_.requests;
   if (r.from == node_) ++stats_.local_requests; else ++stats_.remote_requests;
+  if (occupancy_hist_ != nullptr) occupancy_hist_->record(busy_.size());
   if (!busy_.insert(r.line)) {  // Single probe: inserts unless already busy.
     waiting_[r.line].push(r);
     ++stats_.queued_ops;

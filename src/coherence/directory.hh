@@ -38,6 +38,7 @@
 #include "common/config.hh"
 #include "common/flat_map.hh"
 #include "common/pool.hh"
+#include "common/stats.hh"
 #include "region/region.hh"
 
 namespace allarm::coherence {
@@ -107,6 +108,13 @@ class DirectoryController {
 
   /// Drops all directory state (between experiment repetitions).
   void clear();
+
+  /// Installs a histogram sampling this directory's occupancy (number of
+  /// lines with a transaction in flight) at each request arrival.  Null
+  /// disables sampling (the default); the caller owns the histogram and
+  /// may share one across directories (requests execute on one thread
+  /// even under PDES).  See RunOptions::profile.
+  void set_occupancy_histogram(Histogram* hist) { occupancy_hist_ = hist; }
 
  private:
   using QueuedOp = std::variant<Request, Put>;
@@ -238,6 +246,7 @@ class DirectoryController {
   /// queued operation can observe the un-tracked window.
   FlatMap<LineAddr, NodeId> pending_installs_;
   DirectoryStats stats_;
+  Histogram* occupancy_hist_ = nullptr;  ///< Occupancy-at-arrival sink.
   FlatSet<LineAddr> busy_;
   FlatMap<LineAddr, OpQueue> waiting_;
   Pool<MissState> miss_pool_;

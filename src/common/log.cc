@@ -1,12 +1,63 @@
 #include "common/log.hh"
 
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+
+#if defined(__linux__)
+#include <pthread.h>
+#endif
+
 namespace allarm {
+
+namespace {
+
+/// Monotonic nanoseconds since the first log line (cheap proxy for
+/// process start; the clock is anchored once, so lines order correctly).
+std::uint64_t mono_ns_now() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point t0 = clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() - t0)
+          .count());
+}
+
+std::string current_thread_name() {
+#if defined(__linux__)
+  char buf[16] = {0};
+  if (pthread_getname_np(pthread_self(), buf, sizeof(buf)) == 0 &&
+      buf[0] != '\0') {
+    return buf;
+  }
+#endif
+  return "-";
+}
+
+}  // namespace
 
 LogLevel Log::level_ = LogLevel::kWarn;
 
-void Log::write(LogLevel level, const std::string& message) {
+std::string Log::format_line(LogLevel level, const std::string& message,
+                             std::uint64_t mono_ns,
+                             const std::string& thread) {
   static const char* names[] = {"trace", "debug", "info", "warn", "error"};
-  std::cerr << '[' << names[static_cast<int>(level)] << "] " << message << '\n';
+  char stamp[40];
+  std::snprintf(stamp, sizeof(stamp), "[%" PRIu64 ".%06" PRIu64 "]",
+                mono_ns / 1000000000u, (mono_ns / 1000u) % 1000000u);
+  std::string out = stamp;
+  out += " [";
+  out += thread;
+  out += "] [";
+  out += names[static_cast<int>(level)];
+  out += "] ";
+  out += message;
+  return out;
+}
+
+void Log::write(LogLevel level, const std::string& message) {
+  std::cerr << format_line(level, message, mono_ns_now(),
+                           current_thread_name())
+            << '\n';
 }
 
 }  // namespace allarm

@@ -20,8 +20,17 @@ class Log {
   static void set_level(LogLevel level) { level_ = level; }
   static bool enabled(LogLevel level) { return level >= level_; }
 
-  /// Emits one formatted line: "[lvl] message".
+  /// Emits one formatted line (see format_line) to stderr, stamped with
+  /// the monotonic time since process start and the calling thread's name.
   static void write(LogLevel level, const std::string& message);
+
+  /// Pure formatter behind write(), exposed so tests can pin the format:
+  /// "[<sec>.<6-digit-us>] [<thread>] [<lvl>] message".  `mono_ns` is
+  /// nanoseconds since process start; `thread` is the OS thread name
+  /// (the pool names workers "allarm-w<i>", see runner/thread_pool.cc).
+  static std::string format_line(LogLevel level, const std::string& message,
+                                 std::uint64_t mono_ns,
+                                 const std::string& thread);
 
  private:
   static LogLevel level_;

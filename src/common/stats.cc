@@ -63,6 +63,81 @@ Summary summarize(const std::vector<double>& values) {
   return s;
 }
 
+int Histogram::bucket_of(std::uint64_t value) {
+  if (value == 0) return 0;
+  // floor(log2(value)) + 1, saturating into the last bucket.
+  int b = 64 - __builtin_clzll(value);
+  return b < kBuckets ? b : kBuckets - 1;
+}
+
+std::uint64_t Histogram::bucket_lo(int b) {
+  if (b <= 0) return 0;
+  return std::uint64_t{1} << (b - 1);
+}
+
+std::uint64_t Histogram::bucket_hi(int b) {
+  if (b <= 0) return 0;
+  if (b >= kBuckets - 1) return (std::uint64_t{1} << 63) - 1;
+  return (std::uint64_t{1} << b) - 1;
+}
+
+void Histogram::record(std::uint64_t value) {
+  ++buckets_[static_cast<std::size_t>(bucket_of(value))];
+  ++count_;
+  if (value > max_) max_ = value;
+}
+
+void Histogram::merge(const Histogram& other) {
+  for (int b = 0; b < kBuckets; ++b) {
+    buckets_[static_cast<std::size_t>(b)] +=
+        other.buckets_[static_cast<std::size_t>(b)];
+  }
+  count_ += other.count_;
+  if (other.max_ > max_) max_ = other.max_;
+}
+
+double Histogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  // 1-based rank of the sample the quantile names.
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(count_))));
+  std::uint64_t cumulative = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    const std::uint64_t n = buckets_[static_cast<std::size_t>(b)];
+    if (n == 0) continue;
+    if (cumulative + n >= rank) {
+      const double lo = static_cast<double>(bucket_lo(b));
+      const double hi = static_cast<double>(bucket_hi(b));
+      const double within =
+          static_cast<double>(rank - cumulative) / static_cast<double>(n);
+      const double value = lo + (hi - lo) * within;
+      return std::min(value, static_cast<double>(max_));
+    }
+    cumulative += n;
+  }
+  return static_cast<double>(max_);  // Unreachable when counts are consistent.
+}
+
+void Histogram::export_to(StatSet& out, const std::string& name) const {
+  out.set(name + ".p50", quantile(0.50));
+  out.set(name + ".p95", quantile(0.95));
+  out.set(name + ".p99", quantile(0.99));
+  out.set(name + ".max", static_cast<double>(max_));
+  out.set(name + ".count", static_cast<double>(count_));
+}
+
+void Histogram::add_bucket(int b, std::uint64_t n) {
+  if (b < 0 || b >= kBuckets) return;
+  buckets_[static_cast<std::size_t>(b)] += n;
+  count_ += n;
+}
+
+void Histogram::note_max(std::uint64_t value) {
+  if (value > max_) max_ = value;
+}
+
 std::string json_number(double value) {
   if (!std::isfinite(value)) return "null";
   // Integral values (counters, ticks) print exactly; everything else uses

@@ -6,6 +6,7 @@
 // (normalization against a baseline, geometric means, table formatting).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -68,6 +69,61 @@ struct Summary {
 
 /// Summarizes `values` in order.
 Summary summarize(const std::vector<double>& values);
+
+/// Fixed-bucket log2 histogram of non-negative integer samples (latencies
+/// in ns, queue depths, ...).
+///
+/// Bucket 0 holds exact zeros; bucket b >= 1 holds [2^(b-1), 2^b - 1],
+/// with the last bucket absorbing everything above 2^62.  Merging adds
+/// bucket counts, so it is commutative and associative like StatSet::add —
+/// per-replicate histograms fold into a cell in any order with identical
+/// results.  The exact maximum is tracked on the side so quantiles never
+/// report past the largest observed sample.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  /// Bucket index a value lands in (exposed for tests).
+  static int bucket_of(std::uint64_t value);
+
+  /// Inclusive [lo, hi] value range of bucket `b` (hi of the last bucket
+  /// saturates at 2^63 - 1).
+  static std::uint64_t bucket_lo(int b);
+  static std::uint64_t bucket_hi(int b);
+
+  /// Folds one sample in.
+  void record(std::uint64_t value);
+
+  /// Adds all of `other`'s samples to this histogram.
+  void merge(const Histogram& other);
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t max() const { return max_; }
+  bool empty() const { return count_ == 0; }
+
+  /// Value at quantile `q` in [0, 1]: the bucket holding sample rank
+  /// ceil(q * count) (1-based), linearly interpolated across the bucket's
+  /// range and clamped to the observed maximum.  Returns 0 when empty.
+  double quantile(double q) const;
+
+  /// Exports `<name>.p50/.p95/.p99/.max/.count` into `out`.
+  void export_to(StatSet& out, const std::string& name) const;
+
+  /// Raw bucket counts (serialization; see runner/journal.cc).
+  const std::array<std::uint64_t, kBuckets>& buckets() const {
+    return buckets_;
+  }
+
+  /// Deserialization primitives: add `n` pre-counted samples to bucket `b`
+  /// and restore the observed maximum.  Used by the journal reader only.
+  void add_bucket(int b, std::uint64_t n);
+  void note_max(std::uint64_t value);
+
+ private:
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t max_ = 0;
+};
 
 /// Serializes a double for JSON: round-trip precision, no locale, stable
 /// output for a given bit pattern (integers render without an exponent).

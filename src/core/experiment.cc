@@ -8,6 +8,7 @@
 #include <string>
 #include <thread>
 
+#include "obs/timeline.hh"
 #include "trace/replay.hh"
 #include "trace/writer.hh"
 
@@ -78,13 +79,18 @@ RunResult run_request(const RunRequest& request, std::uint64_t deadline_ns) {
   options.seed = request.seed;
   options.deadline_ns = deadline_ns;
   options.par = request.par;
+  options.profile = request.profile;
   if (!request.capture_trace.empty()) {
     writer.emplace(request.capture_trace);
     options.capture = &*writer;
   }
 
-  System system(config, request.policy);
-  RunResult result = system.run(*spec, options);
+  RunResult result;
+  {
+    OBS_SPAN("sim.run", "sim");
+    System system(config, request.policy);
+    result = system.run(*spec, options);
+  }
   if (writer) writer->finish();
 
   result.wall_ns = static_cast<std::uint64_t>(

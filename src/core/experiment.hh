@@ -62,6 +62,10 @@ struct RunRequest {
   /// is the serial kernel; barrier mode at any shard count is byte-identical
   /// to it, so sweep identity (spec_hash) only folds this when lax.
   parallel::ParConfig par;
+  /// Records latency histograms into RunResult::profile (RunOptions::
+  /// profile).  Observability side channel: never folded into sweep
+  /// identity, and the default stats are byte-identical either way.
+  bool profile = false;
 };
 
 /// Runs `request` on a fresh System.  Thread-safe: concurrent calls never

@@ -55,6 +55,10 @@ struct System::ThreadRuntime {
   /// line of its diagnostic; the ring path's last_issue_at below is not
   /// equivalent — serial-issue threads never update it).
   Tick watchdog_issue_at = 0;
+  /// Sim time of this thread's in-flight issue, maintained only while
+  /// RunOptions::profile is armed (one outstanding access per thread, so
+  /// a single stamp suffices for the request→completion histogram).
+  Tick profile_issued_at = 0;
   System* system = nullptr;  ///< Back-pointer for the completion callback.
   std::uint32_t capture_slot = 0;  ///< Trace-writer slot while capturing.
 
@@ -124,6 +128,10 @@ void System::begin_roi() {
   for (auto& d : drams_) d->reset_stats();
   for (auto& c : caches_) c->reset_stats();
   for (auto& d : dirs_) d->reset_stats();
+  // Profile histograms follow the same ROI boundary as the counters.
+  prof_access_ns_ = Histogram{};
+  prof_dir_occupancy_ = Histogram{};
+  prof_mesh_queue_ns_ = Histogram{};
 }
 
 void System::issue_next(ThreadRuntime& thread) {
@@ -134,6 +142,7 @@ void System::issue_next(ThreadRuntime& thread) {
       check_watchdog();
     }
   }
+  if (profile_on_) thread.profile_issued_at = events_.now();
   if (thread.in_warmup && thread.remaining <= thread.spec.accesses) {
     // This thread has crossed from warm-up into its region of interest.
     thread.in_warmup = false;
@@ -184,6 +193,10 @@ void System::issue_next(ThreadRuntime& thread) {
 void System::access_done_thunk(void* ctx, Tick done) {
   ThreadRuntime& thread = *static_cast<ThreadRuntime*>(ctx);
   System* self = thread.system;
+  if (self->profile_on_ && done >= thread.profile_issued_at) {
+    self->prof_access_ns_.record((done - thread.profile_issued_at) /
+                                 kTicksPerNs);
+  }
   Tick think = thread.spec.think;
   if (think != 0 && thread.spec.think_jitter > 0.0) {
     const double jitter =
@@ -345,6 +358,11 @@ RunResult System::run(const workload::WorkloadSpec& spec,
     watchdog_deadline_ns_ = options.deadline_ns;
     watchdog_start_ = std::chrono::steady_clock::now();
   }
+  if (options.profile) {
+    profile_on_ = true;
+    mesh_.set_queue_histogram(&prof_mesh_queue_ns_);
+    for (auto& d : dirs_) d->set_occupancy_histogram(&prof_dir_occupancy_);
+  }
 
   // Capture observes the setup phase's first-touch placements: replaying
   // those touches, in order, reproduces the page homes (and the
@@ -447,6 +465,11 @@ RunResult System::run(const workload::WorkloadSpec& spec,
   }
   result.stats = collect_stats(result.runtime);
   result.par = par_stats;
+  if (profile_on_) {
+    result.profile["access_latency_ns"] = prof_access_ns_;
+    result.profile["dir_occupancy"] = prof_dir_occupancy_;
+    result.profile["mesh_queue_ns"] = prof_mesh_queue_ns_;
+  }
   return result;
 }
 

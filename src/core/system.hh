@@ -65,6 +65,13 @@ struct RunOptions {
   /// NOT be a pool this run itself executes on (the flush blocks in
   /// wait_idle); sweep jobs therefore leave it null.
   runner::ThreadPool* par_pool = nullptr;
+  /// When true, the run records latency histograms (per-access
+  /// request→completion latency, directory occupancy at request arrival,
+  /// mesh queueing delay) into RunResult::profile.  Like the watchdog,
+  /// the disabled path costs one predicted branch per access, and the
+  /// enabled path never schedules events — `sim.events` and every default
+  /// stat are byte-identical either way (docs/OBSERVABILITY.md).
+  bool profile = false;
 };
 
 /// Results of one run.
@@ -83,6 +90,12 @@ struct RunResult {
   /// stay byte-identical to serial ones, so sharding must not perturb the
   /// serialized key set or values (same contract as wall_ns).
   parallel::ParStats par;
+  /// Latency histograms recorded under RunOptions::profile, keyed by
+  /// metric name ("access_latency_ns", "dir_occupancy", "mesh_queue_ns").
+  /// Another wall_ns-style side channel: empty (and unserialized) unless
+  /// profiling was requested, so default reports and journals are
+  /// untouched.  Folded into sweep cells by Histogram::merge.
+  std::map<std::string, Histogram> profile;
 };
 
 /// The assembled machine.
@@ -181,6 +194,18 @@ class System {
   std::uint64_t watchdog_deadline_ns_ = 0;
   std::chrono::steady_clock::time_point watchdog_start_{};
   std::uint64_t watchdog_last_accesses_ = 0;  ///< For the progress delta.
+
+  // --- Latency profiling (RunOptions::profile) ----------------------------
+  /// Armed by run(); gates the per-access issue stamp the same way
+  /// watchdog_on_ gates its own.  The component histograms are fed through
+  /// raw pointers installed before the run (mesh queueing, directory
+  /// occupancy) and recorded from event execution, which stays on the
+  /// calling thread even under PDES (lanes run serially; only mailbox
+  /// flushes parallelize) — no locking needed.
+  bool profile_on_ = false;
+  Histogram prof_access_ns_;     ///< Request→completion latency per access.
+  Histogram prof_dir_occupancy_; ///< Busy-line count at request arrival.
+  Histogram prof_mesh_queue_ns_; ///< Per-message link queueing delay.
 
   void begin_roi();
 };

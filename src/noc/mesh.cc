@@ -108,13 +108,16 @@ Tick Mesh::send(NodeId src, NodeId dst, std::uint32_t bytes, Tick now,
   const std::uint32_t end = route_offset_[pair + 1];
   const Tick per_hop_tail = link_latency_ + router_latency_;
   Tick t = now + router_latency_;  // Injection through the source router.
+  Tick queued = 0;  // Summed link-wait, recorded only while profiling.
   for (std::uint32_t i = begin; i < end; ++i) {
     const std::uint32_t link = route_links_[i];
     const Tick start = std::max(t, link_free_[link]);
+    if (queue_hist_ != nullptr) queued += start - t;
     link_free_[link] = start + serialization;
     link_busy_[link] += serialization;
     t = start + serialization + per_hop_tail;
   }
+  if (queue_hist_ != nullptr) queue_hist_->record(queued / kTicksPerNs);
   const std::uint32_t hop_count = end - begin;
 
   const auto c = static_cast<std::size_t>(cause);

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/config.hh"
+#include "common/stats.hh"
 #include "common/types.hh"
 
 namespace allarm::noc {
@@ -77,6 +78,13 @@ class Mesh {
   /// Total busy time accumulated on the most-loaded directed link.
   Tick max_link_busy_time() const;
 
+  /// Installs a histogram that receives each mesh message's total link
+  /// queueing delay in nanoseconds (time spent waiting behind earlier
+  /// messages, excluding serialization and propagation).  Null disables
+  /// recording (the default); the caller owns the histogram and must keep
+  /// it alive across send() calls.  See RunOptions::profile.
+  void set_queue_histogram(Histogram* hist) { queue_hist_ = hist; }
+
  private:
   // Directed link ids: node * 4 + direction (0=E,1=W,2=N,3=S).
   enum Direction : std::uint32_t { kEast = 0, kWest, kNorth, kSouth };
@@ -132,6 +140,7 @@ class Mesh {
   std::vector<std::uint32_t> route_offset_;
 
   NocStats stats_;
+  Histogram* queue_hist_ = nullptr;  ///< Per-message queueing delay sink.
 };
 
 }  // namespace allarm::noc

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/timeline.hh"
 #include "runner/thread_pool.hh"
 
 namespace allarm::parallel {
@@ -81,8 +82,11 @@ ParStats run_lax(sim::EventQueue& events, const ParConfig& config,
     // reorders nothing; beyond it (slack > lookahead) a parked event may
     // arrive "late" and get warped to the edge.
     const Tick edge = window + stats.slack - 1;
-    for (std::uint32_t l = 0; l < lanes; ++l) {
-      events.run_lane_until(l, edge);
+    {
+      OBS_SPAN_N("par.window", "par", stats.windows);
+      for (std::uint32_t l = 0; l < lanes; ++l) {
+        events.run_lane_until(l, edge);
+      }
     }
     ++stats.windows;
 
@@ -111,6 +115,7 @@ ParStats run_lax(sim::EventQueue& events, const ParConfig& config,
       }
       box.clear();
     };
+    OBS_SPAN_N("par.flush", "par", stats.windows - 1);
     if (pool != nullptr && lanes > 1) {
       for (std::uint32_t l = 0; l < lanes; ++l) {
         pool->submit([&flush, l] { flush(l); });

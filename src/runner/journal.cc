@@ -5,6 +5,7 @@
 
 #include "common/checksum.hh"
 #include "common/failpoint.hh"
+#include "obs/timeline.hh"
 
 namespace allarm::runner {
 
@@ -191,6 +192,29 @@ std::string serialize_run_result(const core::RunResult& result,
   // as "not recorded").  Extend only by appending.
   put_u64(result.wall_ns);
   put_u64(cell_hash);
+  // Profile histograms (RunOptions::profile), sparse-encoded.  Emitted
+  // only when profiling ran, so default journals end at the cell hash and
+  // stay byte-identical across the flag — and resume-compatible with
+  // readers that predate this section.
+  if (!result.profile.empty()) {
+    put_u32(static_cast<std::uint32_t>(result.profile.size()));
+    for (const auto& [name, hist] : result.profile) {
+      put_u32(static_cast<std::uint32_t>(name.size()));
+      out.append(name);
+      put_u64(hist.max());
+      std::uint32_t nonzero = 0;
+      for (int b = 0; b < Histogram::kBuckets; ++b) {
+        if (hist.buckets()[static_cast<std::size_t>(b)] != 0) ++nonzero;
+      }
+      put_u32(nonzero);
+      for (int b = 0; b < Histogram::kBuckets; ++b) {
+        const std::uint64_t n = hist.buckets()[static_cast<std::size_t>(b)];
+        if (n == 0) continue;
+        put_u32(static_cast<std::uint32_t>(b));
+        put_u64(n);
+      }
+    }
+  }
   return out;
 }
 
@@ -237,11 +261,32 @@ core::RunResult deserialize_run_result(const void* data, std::size_t size,
     result.stats.set(name, value);
   }
   // Optional trailing sections, in append order (pre-wall_ns journals end
-  // before the first; pre-cell-hash journals before the second).
+  // before the first; pre-cell-hash journals before the second; journals
+  // without profiling before the third).
   if (pos < size) result.wall_ns = get_u64();
   std::uint64_t stored_cell_hash = 0;
   if (pos < size) stored_cell_hash = get_u64();
   if (cell_hash != nullptr) *cell_hash = stored_cell_hash;
+  if (pos < size) {
+    const std::uint32_t hist_count = get_u32();
+    for (std::uint32_t h = 0; h < hist_count; ++h) {
+      const std::uint32_t len = get_u32();
+      need(len);
+      std::string name(bytes + pos, len);
+      pos += len;
+      Histogram& hist = result.profile[name];
+      const std::uint64_t max_value = get_u64();
+      const std::uint32_t nonzero = get_u32();
+      for (std::uint32_t i = 0; i < nonzero; ++i) {
+        const std::uint32_t bucket = get_u32();
+        if (bucket >= static_cast<std::uint32_t>(Histogram::kBuckets)) {
+          throw std::runtime_error("journal payload has a bad histogram");
+        }
+        hist.add_bucket(static_cast<int>(bucket), get_u64());
+      }
+      hist.note_max(max_value);
+    }
+  }
   if (pos != size) {
     throw std::runtime_error("journal payload has trailing bytes");
   }
@@ -378,6 +423,7 @@ JournalIndex Journal::load_index(const std::string& path) {
 
 void Journal::append_record(std::uint64_t job_index, std::uint64_t seed,
                             const std::string& payload, std::uint32_t flags) {
+  OBS_SPAN_N("journal.append", "journal", job_index);
   if (!writable_) {
     throw std::logic_error("journal " + journal_.path() + " is read-only");
   }
@@ -468,6 +514,7 @@ FailureRecord Journal::read_failure(const JournalEntry& entry) const {
 
 void Journal::sync() {
   if (!writable_ || unsynced_appends_ == 0) return;
+  OBS_SPAN("journal.fsync", "journal");
   if (failpoint::check("journal.fsync")) {
     throw std::runtime_error("journal " + journal_.path() +
                              ": sync: injected fault (failpoint "

@@ -110,6 +110,25 @@ void JsonStreamSink::cell(CellResult&& cell) {
   }
   if (!cell.stats.empty()) out_ << "\n      ";
   out_ << "}";
+  // Latency-profile quantiles (sweep --profile).  Doubly gated — the sink
+  // mode AND non-empty cell histograms — so a profile-less resume of a
+  // profiled journal degrades to omitting the section, never to emitting
+  // an empty one.
+  if (include_profile_ && !cell.profile.empty()) {
+    out_ << ",\n      \"hist\": {";
+    bool first_hist = true;
+    for (const auto& [name, hist] : cell.profile) {
+      if (!first_hist) out_ << ",";
+      first_hist = false;
+      out_ << "\n        " << json_quote(name) << ": {\"p50\":"
+           << json_number(hist.quantile(0.50))
+           << ",\"p95\":" << json_number(hist.quantile(0.95))
+           << ",\"p99\":" << json_number(hist.quantile(0.99))
+           << ",\"max\":" << json_number(static_cast<double>(hist.max()))
+           << ",\"count\":" << hist.count() << "}";
+    }
+    out_ << "\n      }";
+  }
   // Quarantined replicates.  Emitted only when present so a healthy
   // sweep's report stays byte-identical to one written before quarantine
   // existed.
@@ -236,7 +255,8 @@ void close_and_rename(std::ofstream& file, const std::string& path) {
 }  // namespace
 
 ReportFiles::ReportFiles(const std::string& json_path,
-                         const std::string& csv_path, bool include_timing)
+                         const std::string& csv_path, bool include_timing,
+                         bool include_profile)
     : json_path_(json_path), csv_path_(csv_path) {
   std::vector<ResultSink*> all;
   if (json_path_.empty()) {
@@ -246,6 +266,7 @@ ReportFiles::ReportFiles(const std::string& json_path,
     json_ = std::make_unique<JsonStreamSink>(out_file_, json_path_);
   }
   json_->set_include_timing(include_timing);
+  json_->set_include_profile(include_profile);
   all.push_back(json_.get());
   if (!csv_path_.empty()) {
     csv_file_ = open_tmp(csv_path_);

@@ -38,6 +38,13 @@ class JsonStreamSink : public ResultSink {
   /// a shard-sizing scheduler with measured cell costs.
   void set_include_timing(bool include) { include_timing_ = include; }
 
+  /// Opt-in latency-profile section (sweep --profile): each cell with
+  /// merged histograms (CellResult::profile) additionally carries a
+  /// "hist" object of per-metric {p50, p95, p99, max, count} quantiles.
+  /// Off by default for the same reason as timing: the canonical report
+  /// must not change shape unless explicitly asked.
+  void set_include_profile(bool include) { include_profile_ = include; }
+
   void begin(const SweepMeta& meta) override;
   void cell(CellResult&& cell) override;
   void end() override;
@@ -49,6 +56,7 @@ class JsonStreamSink : public ResultSink {
   std::string label_;
   bool any_cell_ = false;
   bool include_timing_ = false;
+  bool include_profile_ = false;
 };
 
 /// Streams the canonical long-format CSV to `out`: one row per
@@ -91,7 +99,7 @@ class ReportFiles {
   /// `csv_path` means no CSV report.  Throws std::runtime_error when a
   /// temp file cannot be opened.
   ReportFiles(const std::string& json_path, const std::string& csv_path,
-              bool include_timing = false);
+              bool include_timing = false, bool include_profile = false);
   /// Discards anything not committed (best effort, never throws).
   ~ReportFiles();
 

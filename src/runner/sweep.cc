@@ -17,6 +17,7 @@
 #include "common/checksum.hh"
 #include "common/failpoint.hh"
 #include "common/rng.hh"
+#include "obs/timeline.hh"
 #include "runner/journal.hh"
 #include "runner/sink.hh"
 #include "runner/thread_pool.hh"
@@ -128,11 +129,19 @@ class CellFolder {
       for (const auto& [stat, value] : result.stats.values()) {
         cell_.stats[stat].add(value);
       }
+      // Histogram merge is commutative, but fold() runs in grid order
+      // anyway, so cell profiles are bit-identical at any --jobs.
+      for (const auto& [metric, hist] : result.profile) {
+        cell_.profile[metric].merge(hist);
+      }
       cell_.runs.push_back(std::move(result));
     }
     if (++fill_ == spec_.replicates) {
       if (!cell_.failures.empty()) ++cells_failed_;
-      sink_.cell(std::move(cell_));
+      {
+        OBS_SPAN_N("sink.cell", "sink", cells_emitted_);
+        sink_.cell(std::move(cell_));
+      }
       cell_ = CellResult{};
       fill_ = 0;
       ++cells_emitted_;
@@ -447,6 +456,7 @@ std::vector<Job> expand_jobs(const SweepSpec& spec) {
           job.request.seed = job_seed(spec.base_seed, w, r);
           job.request.policy = point.policy;
           job.request.par = spec.par;
+          job.request.profile = spec.profile;
           // Traces pair with jobs by grid index (== jobs.size() here:
           // the loops enumerate the grid in order), so a capture run's
           // directory replays positionally under the same spec.
@@ -726,7 +736,10 @@ StreamStats SweepRunner::run_streaming(const SweepSpec& spec, ResultSink& sink,
                         ": injected fault (failpoint cell.attempt)");
                   }
                 }
-                done.result = core::run_request(job.request, deadline_ns);
+                {
+                  OBS_SPAN_N("sweep.job", "sweep", job_index);
+                  done.result = core::run_request(job.request, deadline_ns);
+                }
                 done.failed = false;
                 break;
               } catch (const std::exception& e) {

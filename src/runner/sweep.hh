@@ -85,6 +85,13 @@ struct SweepSpec {
   /// the sweep pool is sized with parallel::split_budget so jobs x shards
   /// stays within the host budget.
   parallel::ParConfig par;
+  /// When true, every job records latency histograms (RunOptions::profile)
+  /// which fold into CellResult::profile.  Observability side channel:
+  /// default report bytes are unchanged unless the sink's profile mode is
+  /// also enabled, and it is NOT folded into spec_hash — journals stay
+  /// resume-compatible with or without profiling (a resume that flips the
+  /// flag simply lacks histograms for the already-journaled replicates).
+  bool profile = false;
 
   std::uint64_t cell_count() const {
     return static_cast<std::uint64_t>(workloads.size()) * configs.size() *
@@ -154,6 +161,10 @@ struct CellResult {
   /// a "failed" section only when this is non-empty).  Failed replicates
   /// contribute no runs/runtime/stats samples.
   std::vector<CellFailure> failures;
+  /// Latency histograms merged across replicates (SweepSpec::profile).
+  /// Empty unless profiling ran; excluded from reports unless the sink's
+  /// profile mode is enabled (same side-channel contract as wall_ns).
+  std::map<std::string, Histogram> profile;
 
   /// Copy of everything except the raw `runs` (they dominate the
   /// footprint).  The one place that knows which fields a report carries;
@@ -168,6 +179,7 @@ struct CellResult {
     copy.stats = stats;
     copy.wall_ns = wall_ns;
     copy.failures = failures;
+    copy.profile = profile;
     return copy;
   }
 };

@@ -69,6 +69,11 @@ std::uint64_t ThreadPool::steal_count() const {
   return steals_;
 }
 
+std::uint32_t ThreadPool::busy_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return busy_;
+}
+
 bool ThreadPool::try_pop(std::uint32_t self, Task& task) {
   if (!queues_[self].empty()) {
     task = std::move(queues_[self].front());
@@ -95,6 +100,7 @@ void ThreadPool::worker_loop(std::uint32_t self) {
       std::unique_lock<std::mutex> lock(mutex_);
       work_cv_.wait(lock, [&] { return try_pop(self, task) || stopping_; });
       if (!task) return;  // Stopping and no work left.
+      ++busy_;
     }
     std::exception_ptr error;
     try {
@@ -107,6 +113,7 @@ void ThreadPool::worker_loop(std::uint32_t self) {
     {
       std::lock_guard<std::mutex> lock(mutex_);
       if (error && !first_error_) first_error_ = std::move(error);
+      --busy_;
       --unfinished_;
       if (unfinished_ == 0) idle_cv_.notify_all();
     }

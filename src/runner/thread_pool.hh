@@ -58,6 +58,10 @@ class ThreadPool {
   /// dealt to.  Diagnostic only (tests, --verbose sweeps).
   std::uint64_t steal_count() const;
 
+  /// Workers currently executing a task.  A sampled utilization gauge for
+  /// the service heartbeat — instantaneous, already stale when returned.
+  std::uint32_t busy_count() const;
+
  private:
   void worker_loop(std::uint32_t self);
   /// wait_idle() without the rethrow, for the destructor (which must not
@@ -77,6 +81,7 @@ class ThreadPool {
   std::condition_variable idle_cv_;  // Signals wait_idle(): all done.
   std::uint64_t unfinished_ = 0;     // Tasks submitted but not yet completed.
   std::uint64_t steals_ = 0;
+  std::uint32_t busy_ = 0;           // Workers currently inside task().
   std::exception_ptr first_error_;   // First exception leaked by a task.
   std::uint32_t next_queue_ = 0;     // Round-robin dealing cursor.
   bool stopping_ = false;

@@ -16,6 +16,7 @@
 #include "common/fileio.hh"
 #include "common/stats.hh"
 #include "core/experiment.hh"
+#include "obs/timeline.hh"
 #include "runner/report.hh"
 #include "runner/sweep.hh"
 #include "runner/thread_pool.hh"
@@ -80,6 +81,11 @@ Request parse_request(const std::string& json_text) {
         throw std::runtime_error("\"timing\" must be a boolean");
       }
       request.timing = value.boolean;
+    } else if (key == "profile") {
+      if (!value.is_bool()) {
+        throw std::runtime_error("\"profile\" must be a boolean");
+      }
+      request.profile = value.boolean;
     } else if (key == "retries") {
       const std::uint64_t retries = value.as_u64("\"retries\"");
       if (retries > 16) {
@@ -105,7 +111,11 @@ Request parse_request(const std::string& json_text) {
 }
 
 runner::SweepSpec spec_of(const Request& request) {
-  return runner::make_builtin_grid(request.grid, request.knobs);
+  runner::SweepSpec spec = runner::make_builtin_grid(request.grid, request.knobs);
+  // Not folded into spec_hash (see SweepSpec::profile), so toggling it on a
+  // resubmission re-uses the kept journal rather than re-running the grid.
+  spec.profile = request.profile;
+  return spec;
 }
 
 namespace {
@@ -116,12 +126,15 @@ namespace {
 void drive_request(const Spool& spool, const runner::SweepRunner& runner,
                    runner::ThreadPool& pool, const std::atomic<bool>& stop,
                    Active& active) {
+  // One span per request lifecycle (accept-to-terminal work on this
+  // driver thread); arg = total jobs so the timeline shows request size.
+  OBS_SPAN_N("service.request", "service", active.jobs_total);
   try {
     const Request request = parse_request(read_file(spool.request_json(active.id)));
     const runner::SweepSpec spec = spec_of(request);
     runner::ReportFiles reports(spool.report_json(active.id),
                                 request.csv ? spool.report_csv(active.id) : "",
-                                request.timing);
+                                request.timing, request.profile);
     runner::StreamOptions options;
     options.journal_path = spool.journal_path(active.id);
     // Always the incremental path: a fresh journal is created, an
@@ -169,11 +182,23 @@ int Service::run(const std::atomic<bool>& stop) {
   Clock::time_point drain_started{};
   bool drain_logged = false;
 
+  // Lifetime totals, accumulated as finished drivers are reaped (plus the
+  // in-flight progress of still-active ones when sampled below).  These
+  // back the cells/sec gauge and the *_total counters in metrics.prom.
+  std::uint64_t jobs_executed_total = 0;
+  std::uint64_t jobs_retried_total = 0;
+  std::uint64_t jobs_quarantined_total = 0;
+  std::uint64_t requests_finished_total = 0;
+  std::uint64_t rate_last_jobs = 0;
+  Clock::time_point rate_last_at = started;
+  double jobs_per_s = 0.0;
+
   const auto uptime_s = [&] {
     return std::chrono::duration<double>(Clock::now() - started).count();
   };
 
   const auto activate = [&](const std::string& id) {
+    OBS_SPAN("service.admit", "service");
     const Request request = parse_request(read_file(spool.request_json(id)));
     const runner::SweepSpec spec = spec_of(request);
     auto entry = std::make_unique<Active>();
@@ -191,6 +216,26 @@ int Service::run(const std::atomic<bool>& stop) {
   };
 
   const auto write_health = [&](bool draining) {
+    OBS_SPAN("service.health", "service");
+    // Throughput gauge: jobs completed (reaped totals + in-flight
+    // progress) over the wall time since the last sample.  Poll-cadence
+    // sampling, so short bursts between polls average out.
+    const std::uint64_t jobs_now = [&] {
+      std::uint64_t total = jobs_executed_total;
+      for (const auto& entry : active) {
+        total += entry->progress.load(std::memory_order_relaxed);
+      }
+      return total;
+    }();
+    const double since_s =
+        std::chrono::duration<double>(Clock::now() - rate_last_at).count();
+    if (since_s >= 0.001) {
+      jobs_per_s = static_cast<double>(jobs_now - rate_last_jobs) / since_s;
+      rate_last_jobs = jobs_now;
+      rate_last_at = Clock::now();
+    }
+    const std::uint32_t pool_busy = pool.busy_count();
+
     std::string json = "{\"pid\":" + std::to_string(::getpid()) +
                        ",\"uptime_s\":" + json_number(uptime_s()) +
                        ",\"draining\":" + (draining ? "true" : "false");
@@ -198,7 +243,8 @@ int Service::run(const std::atomic<bool>& stop) {
     for (const std::string& id : spool.requests()) {
       ++counts[to_string(spool.state(id))];
     }
-    json += ",\"queue_depth\":" + std::to_string(spool.queued().size());
+    const std::size_t queue_depth = spool.queued().size();
+    json += ",\"queue_depth\":" + std::to_string(queue_depth);
     json += ",\"requests\":{";
     bool first = true;
     for (const auto& [word, count] : counts) {
@@ -206,7 +252,16 @@ int Service::run(const std::atomic<bool>& stop) {
       first = false;
       json += json_quote(word) + ":" + std::to_string(count);
     }
-    json += "},\"active\":[";
+    json += "},\"jobs_per_s\":" + json_number(jobs_per_s);
+    json += ",\"pool\":{\"busy\":" + std::to_string(pool_busy) +
+            ",\"workers\":" + std::to_string(pool.worker_count()) + "}";
+    json += ",\"totals\":{\"jobs_executed\":" +
+            std::to_string(jobs_executed_total) +
+            ",\"jobs_retried\":" + std::to_string(jobs_retried_total) +
+            ",\"jobs_quarantined\":" + std::to_string(jobs_quarantined_total) +
+            ",\"requests_finished\":" + std::to_string(requests_finished_total) +
+            "}";
+    json += ",\"active\":[";
     first = true;
     for (const auto& entry : active) {
       if (!first) json += ",";
@@ -223,6 +278,40 @@ int Service::run(const std::atomic<bool>& stop) {
       // Health is observability, not state: a failed heartbeat must never
       // take down the requests it reports on.
       std::cerr << "[serve] health write failed: " << e.what() << "\n";
+    }
+
+    // Prometheus-textfile mirror, written beside health.json each poll
+    // with the same atomicity and the same never-fatal contract.
+    std::string prom;
+    const auto gauge = [&prom](const std::string& name,
+                               const std::string& value) {
+      prom += "# TYPE " + name + " gauge\n" + name + " " + value + "\n";
+    };
+    const auto counter = [&prom](const std::string& name, std::uint64_t value) {
+      prom += "# TYPE " + name + " counter\n" + name + " " +
+              std::to_string(value) + "\n";
+    };
+    gauge("allarm_up", "1");
+    gauge("allarm_uptime_seconds", json_number(uptime_s()));
+    gauge("allarm_draining", draining ? "1" : "0");
+    gauge("allarm_queue_depth", std::to_string(queue_depth));
+    gauge("allarm_active_requests", std::to_string(active.size()));
+    gauge("allarm_jobs_per_second", json_number(jobs_per_s));
+    gauge("allarm_pool_workers", std::to_string(pool.worker_count()));
+    gauge("allarm_pool_busy_workers", std::to_string(pool_busy));
+    prom += "# TYPE allarm_requests gauge\n";
+    for (const auto& [word, count] : counts) {
+      prom += "allarm_requests{state=\"" + word + "\"} " +
+              std::to_string(count) + "\n";
+    }
+    counter("allarm_jobs_executed_total", jobs_executed_total);
+    counter("allarm_jobs_retried_total", jobs_retried_total);
+    counter("allarm_jobs_quarantined_total", jobs_quarantined_total);
+    counter("allarm_requests_finished_total", requests_finished_total);
+    try {
+      spool.write_metrics(prom);
+    } catch (const std::exception& e) {
+      std::cerr << "[serve] metrics write failed: " << e.what() << "\n";
     }
   };
 
@@ -243,6 +332,12 @@ int Service::run(const std::atomic<bool>& stop) {
         continue;
       }
       entry.thread.join();
+      // Fold the finished run into the lifetime totals (kFailed from the
+      // exception path carries default-zero stats, which is correct).
+      jobs_executed_total += entry.stats.jobs_executed;
+      jobs_retried_total += entry.stats.jobs_retried;
+      jobs_quarantined_total += entry.stats.jobs_failed;
+      if (entry.outcome != Outcome::kDrained) ++requests_finished_total;
       switch (entry.outcome) {
         case Outcome::kDone:
           spool.set_state(entry.id, RequestState::kDone);
@@ -300,6 +395,7 @@ int Service::run(const std::atomic<bool>& stop) {
     // its reason; an id that is currently running defers (its resubmission
     // stays queued until the active run finishes).
     try {
+      OBS_SPAN("service.scan", "service");
       for (const std::string& id : spool.queued()) {
         bool busy = false;
         for (const auto& entry : active) busy = busy || entry->id == id;

@@ -38,6 +38,7 @@ struct Request {
   runner::GridKnobs knobs;   ///< "seeds", "seed", "accesses" keys.
   bool csv = false;          ///< "csv": also write report.csv.
   bool timing = false;       ///< "timing": wall_ns section in report.json.
+  bool profile = false;      ///< "profile": hist section in report.json.
   std::uint32_t retries = 0; ///< "retries": per-job retry budget.
 };
 

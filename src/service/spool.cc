@@ -159,6 +159,8 @@ std::string Spool::report_csv(const std::string& id) const {
 
 std::string Spool::health_path() const { return root_ + "/health.json"; }
 
+std::string Spool::metrics_path() const { return root_ + "/metrics.prom"; }
+
 std::string Spool::enqueue(const std::string& root, const std::string& id,
                            const std::string& json_text) {
   if (!valid_id(id)) {
@@ -257,6 +259,11 @@ std::string Spool::error(const std::string& id) const {
 void Spool::write_health(const std::string& json) const {
   poll_failpoint("service.health", health_path());
   replace_file_durable(health_path(), json, root_);
+}
+
+void Spool::write_metrics(const std::string& text) const {
+  poll_failpoint("service.metrics", metrics_path());
+  replace_file_durable(metrics_path(), text, root_);
 }
 
 }  // namespace allarm::service

@@ -15,14 +15,15 @@
 //     journal.bin(+.data)    the sweep journal — the crash-safety spine
 //     report.json/.csv       committed reports (tmp+fsync+rename)
 //   health.json              heartbeat (uptime, depths, progress)
+//   metrics.prom             Prometheus-textfile mirror of the heartbeat
 //
 // Every transition is a durable rename of the state file (write temp,
 // fsync, rename, fsync directory), so a SIGKILL at any instant leaves
 // either the old word or the new word — never a torn one — and a restart
 // reconstructs exactly what was accepted and what was mid-flight.
-// Three failpoints cover the new I/O boundaries: `service.scan` (queue
+// Four failpoints cover the new I/O boundaries: `service.scan` (queue
 // intake), `service.state` (state rename), `service.health` (heartbeat
-// write); see docs/ROBUSTNESS.md.
+// write), `service.metrics` (Prometheus export); see docs/ROBUSTNESS.md.
 #pragma once
 
 #include <string>
@@ -94,6 +95,11 @@ class Spool {
   /// failpoint `service.health`.
   void write_health(const std::string& json) const;
 
+  /// Atomically replaces metrics.prom (temp + fsync + rename) — the
+  /// Prometheus-textfile mirror of the heartbeat, written beside
+  /// health.json every poll.  Polls failpoint `service.metrics`.
+  void write_metrics(const std::string& text) const;
+
   // Paths inside one request's directory.
   std::string queue_path(const std::string& id) const;
   std::string request_dir(const std::string& id) const;
@@ -102,6 +108,7 @@ class Spool {
   std::string report_json(const std::string& id) const;
   std::string report_csv(const std::string& id) const;
   std::string health_path() const;
+  std::string metrics_path() const;
 
   /// True when `id` is usable as a spool id (also enforced by enqueue):
   /// nonempty, no path separators or leading dots, <= 200 bytes.

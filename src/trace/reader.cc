@@ -8,6 +8,7 @@
 
 #include "common/checksum.hh"
 #include "common/failpoint.hh"
+#include "obs/timeline.hh"
 
 namespace allarm::trace {
 
@@ -117,6 +118,7 @@ TraceReader::TraceReader(const std::string& path)
 
 void TraceReader::load_block(const IndexEntry& block,
                              std::string& payload) const {
+  OBS_SPAN_N("trace.read", "trace", block.record_count);
   // trace.read_block failpoint: err throws here; short/torn deliver a
   // truncated payload so the CRC check below fires — the exact failure a
   // torn tail or bad sector produces.  Inactive: one predicted branch.

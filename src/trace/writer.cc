@@ -6,6 +6,7 @@
 
 #include "common/checksum.hh"
 #include "common/failpoint.hh"
+#include "obs/timeline.hh"
 
 namespace allarm::trace {
 
@@ -91,6 +92,7 @@ std::uint64_t TraceWriter::write_block(std::uint32_t kind,
 void TraceWriter::flush_block(std::uint32_t slot) {
   OpenBlock& block = open_[slot];
   if (block.record_count == 0) return;
+  OBS_SPAN_N("trace.flush", "trace", block.record_count);
   IndexEntry entry;
   entry.thread_slot = slot;
   entry.record_count = block.record_count;
@@ -106,6 +108,7 @@ void TraceWriter::flush_block(std::uint32_t slot) {
 
 void TraceWriter::finish() {
   if (finished_) throw std::logic_error("TraceWriter: finish() called twice");
+  OBS_SPAN("trace.finish", "trace");
   trace_failpoint("trace.finish", file_.path());
   finished_ = true;
 

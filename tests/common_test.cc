@@ -12,6 +12,7 @@
 #include "common/checksum.hh"
 #include "common/config.hh"
 #include "common/fileio.hh"
+#include "common/log.hh"
 #include "common/rng.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
@@ -206,6 +207,149 @@ TEST(StatSet, MergeWithPrefix) {
   EXPECT_DOUBLE_EQ(a.get("sub.x"), 1.0);
 }
 
+TEST(StatSet, MergeEmptySetsAreNeutral) {
+  StatSet a, empty;
+  a.set("x", 3.0);
+  a.merge(empty, "sub.");      // Merging an empty set changes nothing.
+  EXPECT_EQ(a.values().size(), 1u);
+  empty.merge(a);              // Merging into an empty set copies.
+  EXPECT_DOUBLE_EQ(empty.get("x"), 3.0);
+}
+
+TEST(StatSet, MergePrefixCollisionOverwrites) {
+  // merge() overwrites (it does not add): a prefixed name that collides
+  // with an existing stat takes the incoming value.
+  StatSet a, b;
+  a.set("sub.x", 1.0);
+  b.set("x", 9.0);
+  a.merge(b, "sub.");
+  EXPECT_DOUBLE_EQ(a.get("sub.x"), 9.0);
+  // A second merge of the same set is idempotent, not additive.
+  a.merge(b, "sub.");
+  EXPECT_DOUBLE_EQ(a.get("sub.x"), 9.0);
+}
+
+TEST(StatSet, NormalizedToZeroDenominator) {
+  StatSet base, other;
+  base.set("x", 0.0);   // Present but zero: fallback, not inf/NaN.
+  other.set("x", 5.0);
+  EXPECT_DOUBLE_EQ(other.normalized_to(base, "x"), 1.0);
+  EXPECT_DOUBLE_EQ(other.normalized_to(base, "x", -2.0), -2.0);
+  // Numerator missing: fallback even when the denominator is fine.
+  base.set("y", 4.0);
+  EXPECT_DOUBLE_EQ(other.normalized_to(base, "y", 0.5), 0.5);
+}
+
+// ------------------------------------------------------------- histogram ----
+
+TEST(Histogram, BucketBoundaries) {
+  // Bucket 0 is exact zero; bucket b >= 1 spans [2^(b-1), 2^b - 1].
+  EXPECT_EQ(Histogram::bucket_of(0), 0);
+  EXPECT_EQ(Histogram::bucket_of(1), 1);
+  EXPECT_EQ(Histogram::bucket_of(2), 2);
+  EXPECT_EQ(Histogram::bucket_of(3), 2);
+  EXPECT_EQ(Histogram::bucket_of(4), 3);
+  EXPECT_EQ(Histogram::bucket_of(1023), 10);
+  EXPECT_EQ(Histogram::bucket_of(1024), 11);
+  // The last bucket saturates.
+  EXPECT_EQ(Histogram::bucket_of(~std::uint64_t{0}), Histogram::kBuckets - 1);
+  for (int b = 1; b < Histogram::kBuckets - 1; ++b) {
+    EXPECT_EQ(Histogram::bucket_of(Histogram::bucket_lo(b)), b);
+    EXPECT_EQ(Histogram::bucket_of(Histogram::bucket_hi(b)), b);
+  }
+}
+
+TEST(Histogram, CountMaxAndZeros) {
+  Histogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  h.record(0);
+  h.record(0);
+  h.record(17);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.max(), 17u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);  // Rank 2 of 3 is a zero.
+}
+
+TEST(Histogram, QuantileKnownAnswers) {
+  // A single repeated value: every quantile clamps to the observed max.
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.record(8);
+  EXPECT_DOUBLE_EQ(h.quantile(0.50), 8.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 8.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.00), 8.0);
+
+  // Bimodal: 50 samples of 1, 50 samples of 1000.  p50 names rank 50 (a 1);
+  // p95 names rank 95, the 45th sample in bucket [512, 1023]:
+  // 512 + 511 * 45/50 = 971.9, which is below the observed max of 1000.
+  Histogram bi;
+  for (int i = 0; i < 50; ++i) bi.record(1);
+  for (int i = 0; i < 50; ++i) bi.record(1000);
+  EXPECT_DOUBLE_EQ(bi.quantile(0.50), 1.0);
+  EXPECT_DOUBLE_EQ(bi.quantile(0.95), 512.0 + 511.0 * 45.0 / 50.0);
+  EXPECT_DOUBLE_EQ(bi.quantile(1.00), 1000.0);
+}
+
+TEST(Histogram, MergeIsAssociativeAndCommutative) {
+  const auto fill = [](Histogram& h, std::uint64_t base, int n) {
+    for (int i = 0; i < n; ++i) h.record(base + static_cast<std::uint64_t>(i));
+  };
+  Histogram a, b, c;
+  fill(a, 1, 10);
+  fill(b, 100, 20);
+  fill(c, 10000, 5);
+
+  Histogram ab_c = a;        // (a + b) + c
+  ab_c.merge(b);
+  ab_c.merge(c);
+  Histogram bc = b;          // a + (b + c)
+  bc.merge(c);
+  Histogram a_bc = a;
+  a_bc.merge(bc);
+  Histogram cba = c;         // Reversed order.
+  cba.merge(b);
+  cba.merge(a);
+
+  EXPECT_EQ(ab_c.buckets(), a_bc.buckets());
+  EXPECT_EQ(ab_c.buckets(), cba.buckets());
+  EXPECT_EQ(ab_c.count(), 35u);
+  EXPECT_EQ(ab_c.max(), 10004u);
+  EXPECT_EQ(cba.max(), 10004u);
+  for (double q : {0.5, 0.95, 0.99}) {
+    EXPECT_DOUBLE_EQ(ab_c.quantile(q), a_bc.quantile(q));
+    EXPECT_DOUBLE_EQ(ab_c.quantile(q), cba.quantile(q));
+  }
+}
+
+TEST(Histogram, ExportToStatSet) {
+  Histogram h;
+  for (int i = 0; i < 10; ++i) h.record(64);
+  StatSet s;
+  h.export_to(s, "hist.lat");
+  EXPECT_DOUBLE_EQ(s.get("hist.lat.p50"), 64.0);
+  EXPECT_DOUBLE_EQ(s.get("hist.lat.p95"), 64.0);
+  EXPECT_DOUBLE_EQ(s.get("hist.lat.p99"), 64.0);
+  EXPECT_DOUBLE_EQ(s.get("hist.lat.max"), 64.0);
+  EXPECT_DOUBLE_EQ(s.get("hist.lat.count"), 10.0);
+}
+
+TEST(Histogram, RoundTripThroughRawBuckets) {
+  Histogram h;
+  for (std::uint64_t v : {0ull, 1ull, 7ull, 300ull, 300ull, 1ull << 20}) {
+    h.record(v);
+  }
+  Histogram copy;
+  for (int b = 0; b < Histogram::kBuckets; ++b) {
+    if (h.buckets()[static_cast<std::size_t>(b)] != 0) {
+      copy.add_bucket(b, h.buckets()[static_cast<std::size_t>(b)]);
+    }
+  }
+  copy.note_max(h.max());
+  EXPECT_EQ(copy.buckets(), h.buckets());
+  EXPECT_EQ(copy.count(), h.count());
+  EXPECT_EQ(copy.max(), h.max());
+}
+
 TEST(Stats, Geomean) {
   EXPECT_DOUBLE_EQ(geomean({4.0, 9.0}), 6.0);
   EXPECT_DOUBLE_EQ(geomean({}), 0.0);
@@ -216,6 +360,21 @@ TEST(Stats, Geomean) {
 TEST(Stats, Mean) {
   EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
   EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+// ------------------------------------------------------------------- log ----
+
+TEST(Log, FormatLineIsPinned) {
+  // The line format is part of the operational surface: scripts that
+  // attribute interleaved worker output key on "[sec.usec] [thread] [lvl]".
+  EXPECT_EQ(Log::format_line(LogLevel::kWarn, "msg", 1234567890ull,
+                             "allarm-w0"),
+            "[1.234567] [allarm-w0] [warn] msg");
+  EXPECT_EQ(Log::format_line(LogLevel::kError, "disk on fire", 0ull, "-"),
+            "[0.000000] [-] [error] disk on fire");
+  // Sub-microsecond parts truncate, they do not round.
+  EXPECT_EQ(Log::format_line(LogLevel::kInfo, "x", 999ull, "main"),
+            "[0.000000] [main] [info] x");
 }
 
 // -------------------------------------------------------------- checksum ----

@@ -196,6 +196,53 @@ TEST(RunResultSerialization, RejectsTruncatedAndTrailingBytes) {
                std::runtime_error);
 }
 
+TEST(RunResultSerialization, ProfileSectionRoundTrips) {
+  core::RunResult original = sample_result(2);
+  Histogram latency;
+  for (const std::uint64_t v : {0ull, 1ull, 7ull, 900ull, 900ull}) {
+    latency.record(v);
+  }
+  original.profile["access_latency_ns"] = latency;
+  Histogram occupancy;
+  occupancy.record(3);
+  original.profile["dir_occupancy"] = occupancy;
+
+  const std::string blob = runner::serialize_run_result(original, 99);
+  std::uint64_t hash = 0;
+  const core::RunResult restored =
+      runner::deserialize_run_result(blob.data(), blob.size(), &hash);
+  EXPECT_EQ(hash, 99u);
+  ASSERT_EQ(restored.profile.size(), 2u);
+  const Histogram& r = restored.profile.at("access_latency_ns");
+  EXPECT_EQ(r.count(), latency.count());
+  EXPECT_EQ(r.max(), latency.max());
+  EXPECT_EQ(r.buckets(), latency.buckets());
+  EXPECT_EQ(restored.profile.at("dir_occupancy").count(), 1u);
+}
+
+TEST(RunResultSerialization, ProfileRidesAsATrailingSection) {
+  // A profiled payload is the profile-free payload plus a trailing
+  // section, and the profile-free bytes still deserialize on their own —
+  // so default journals keep the legacy layout and pre-profile journals
+  // read back as unprofiled rather than erroring.
+  core::RunResult original = sample_result(6);
+  Histogram h;
+  h.record(5);
+  original.profile["m"] = h;
+  const std::string profiled = runner::serialize_run_result(original, 11);
+  core::RunResult plain = original;
+  plain.profile.clear();
+  const std::string legacy = runner::serialize_run_result(plain, 11);
+  ASSERT_LT(legacy.size(), profiled.size());
+  EXPECT_EQ(profiled.substr(0, legacy.size()), legacy);
+
+  std::uint64_t hash = 0;
+  const core::RunResult restored =
+      runner::deserialize_run_result(legacy.data(), legacy.size(), &hash);
+  EXPECT_TRUE(restored.profile.empty());
+  EXPECT_EQ(hash, 11u);
+}
+
 // ------------------------------------------------------------- journal IO ----
 
 TEST(Journal, RoundTripsRecordsAndPayloads) {
@@ -600,6 +647,39 @@ TEST(Streaming, TimingModeAddsWallNsAndDefaultStaysCanonical) {
     }
   }
   EXPECT_EQ(stripped, canonical);
+}
+
+TEST(Streaming, ProfileModeAddsHistAndDefaultStaysCanonical) {
+  auto spec = tiny_spec();
+
+  // Default report: no hist section — and a profiled spec streamed into a
+  // default sink reports the same canonical bytes (the histograms ride the
+  // journal side-channel, never the report, unless the sink opts in).
+  const std::string canonical = stream_json(spec, 2);
+  EXPECT_EQ(canonical.find("\"hist\""), std::string::npos);
+  spec.profile = true;
+  EXPECT_EQ(stream_json(spec, 2), canonical);
+
+  // Profile sink: every cell carries a hist object, and the bytes are
+  // --jobs invariant (the fold merges histograms in grid order).
+  const auto profiled_json = [&](std::uint32_t jobs) {
+    std::ostringstream out;
+    runner::JsonStreamSink sink(out);
+    sink.set_include_profile(true);
+    runner::SweepRunner(jobs).run_streaming(spec, sink);
+    return out.str();
+  };
+  const std::string profiled = profiled_json(2);
+  std::size_t cells = 0, pos = 0;
+  while ((pos = profiled.find("\"hist\"", pos)) != std::string::npos) {
+    ++cells;
+    pos += 1;
+  }
+  EXPECT_EQ(cells, spec.cell_count());
+  EXPECT_NE(profiled.find("\"access_latency_ns\""), std::string::npos);
+  EXPECT_NE(profiled.find("\"p99\""), std::string::npos);
+  EXPECT_EQ(profiled_json(1), profiled);
+  EXPECT_EQ(profiled_json(8), profiled);
 }
 
 TEST(Streaming, JournalRecordsPerJobWallClock) {

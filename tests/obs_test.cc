@@ -1,0 +1,122 @@
+// Unit tests for the flight recorder (obs/timeline): span recording,
+// Chrome trace-event serialization, overflow accounting and the
+// obs.timeline failpoint's loud-but-harmless degradation.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/failpoint.hh"
+#include "common/fileio.hh"
+#include "obs/timeline.hh"
+
+namespace allarm {
+namespace {
+
+using obs::SpanScope;
+using obs::Timeline;
+
+class Obs : public ::testing::Test {
+ protected:
+  void SetUp() override { Timeline::reset(); }
+  void TearDown() override {
+    Timeline::reset();
+    failpoint::clear();
+  }
+
+  std::string temp_path(const char* tag) {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    return ::testing::TempDir() + "obs_" + info->name() + "_" + tag + ".json";
+  }
+};
+
+TEST_F(Obs, DisabledRecorderIsInert) {
+  EXPECT_FALSE(Timeline::enabled());
+  { OBS_SPAN("noop", "test"); }
+  Timeline::record("direct", "test", 0, 1);
+  EXPECT_EQ(Timeline::span_count(), 0u);
+  EXPECT_EQ(Timeline::dropped(), 0u);
+}
+
+TEST_F(Obs, RecordsSpansFromMultipleThreads) {
+  Timeline::enable();
+  { OBS_SPAN("main.work", "test"); }
+  { OBS_SPAN_N("main.indexed", "test", 7); }
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < 5; ++i) {
+        OBS_SPAN("worker.item", "test");
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(Timeline::span_count(), 2u + 3u * 5u);
+  EXPECT_EQ(Timeline::dropped(), 0u);
+}
+
+TEST_F(Obs, WriteEmitsChromeTraceJson) {
+  Timeline::enable();
+  { OBS_SPAN("alpha.one", "cat_a"); }
+  { OBS_SPAN_N("beta.two", "cat_b", 42); }
+  const std::string path = temp_path("trace");
+  ASSERT_TRUE(Timeline::write(path));
+  const std::string json = read_file(path);
+  // Structural pins, not a full parser: the envelope, both spans with
+  // their categories, the complete-event phase, and thread metadata.
+  EXPECT_NE(json.find("{\"traceEvents\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"alpha.one\", \"cat\": \"cat_a\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"beta.two\", \"cat\": \"cat_b\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\": {\"n\": 42}"), std::string::npos);
+  EXPECT_EQ(json.back(), '\n');
+  std::remove(path.c_str());
+}
+
+TEST_F(Obs, RingOverflowKeepsFirstSpansAndCounts) {
+  Timeline::enable();
+  const std::uint32_t extra = 5;
+  for (std::uint32_t i = 0; i < Timeline::kRingCapacity + extra; ++i) {
+    Timeline::record("hot", "test", i, 1);
+  }
+  EXPECT_EQ(Timeline::span_count(), Timeline::kRingCapacity);
+  EXPECT_EQ(Timeline::dropped(), extra);
+}
+
+TEST_F(Obs, FailpointDegradesLoudlyWithoutThrowing) {
+  Timeline::enable();
+  { OBS_SPAN("doomed", "test"); }
+  const std::string path = temp_path("failpoint");
+  failpoint::Scoped guard("obs.timeline=err@1");
+  EXPECT_FALSE(Timeline::write(path));
+  // The file must be whole-or-absent: an injected failure leaves nothing.
+  EXPECT_THROW(read_file(path), std::exception);
+  // A later, unfaulted write of the SAME buffered spans still succeeds —
+  // the failure consumed the output path, not the recorder state.
+  failpoint::clear();
+  EXPECT_TRUE(Timeline::write(path));
+  EXPECT_NE(read_file(path).find("doomed"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_F(Obs, ResetDiscardsBufferedSpans) {
+  Timeline::enable();
+  { OBS_SPAN("gone", "test"); }
+  EXPECT_EQ(Timeline::span_count(), 1u);
+  Timeline::reset();
+  EXPECT_FALSE(Timeline::enabled());
+  EXPECT_EQ(Timeline::span_count(), 0u);
+  // Re-enabling after reset records into a fresh ring (epoch bump).
+  Timeline::enable();
+  { OBS_SPAN("fresh", "test"); }
+  EXPECT_EQ(Timeline::span_count(), 1u);
+}
+
+}  // namespace
+}  // namespace allarm
